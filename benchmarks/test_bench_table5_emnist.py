@@ -1,0 +1,11 @@
+"""Table V: EMNIST accuracy / roughness for Baseline and Ours-A..D.
+
+Runs the full five-recipe pipeline on the letters family (the EMNIST
+stand-in); see ``_table_common`` for the shape assertions.
+"""
+
+from ._table_common import run_and_check_table
+
+
+def test_bench_table5_emnist(once):
+    run_and_check_table("letters", once)

@@ -1,0 +1,92 @@
+"""Deployment gap: why roughness matters (the paper's motivation).
+
+The paper argues that interpixel crosstalk in fabricated masks breaks the
+numerically trained model, and uses roughness as the proxy to minimize.
+This example closes the loop with the crosstalk deployment simulator:
+
+1. train a roughness-oblivious baseline and a physics-aware (Ours-C) model;
+2. "fabricate" both by passing their masks through the interpixel
+   crosstalk model (optionally with the 2-pi smoothed topography);
+3. compare the accuracy each deployment loses.
+
+The physics-aware model should lose visibly less — the measurable version
+of the paper's central claim.
+
+Usage::
+
+    python examples/deployment_gap.py [--strength 0.25]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.donn import accuracy, deployed_accuracy
+from repro.optics import CrosstalkModel
+from repro.pipeline import ExperimentConfig, prepare_data, run_recipe
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--strength", type=float, default=0.25,
+                        help="crosstalk coupling strength in [0, 1)")
+    parser.add_argument("--n", type=int, default=40)
+    parser.add_argument("--train", type=int, default=1000)
+    parser.add_argument("--epochs", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = ExperimentConfig.laptop(
+        "digits", n=args.n, seed=args.seed, n_train=args.train, n_test=300,
+        baseline_epochs=args.epochs,
+    )
+    data = prepare_data(config)
+    _, test = data
+    crosstalk = CrosstalkModel(strength=args.strength)
+
+    print(f"crosstalk strength {args.strength}; training two models ...\n")
+    rows = []
+    for recipe in ("baseline", "ours_c"):
+        result = run_recipe(recipe, config, data=data)
+        ideal = accuracy(result.model, test)
+
+        plain = deployed_accuracy(result.model, test, crosstalk)
+        smoothed_phases = [
+            phase + offsets
+            for phase, offsets in zip(result.model.phases(),
+                                      result.offsets())
+        ]
+        smoothed = deployed_accuracy(result.model, test, crosstalk,
+                                     phases=smoothed_phases)
+        rows.append((result.label, result.roughness_before,
+                     result.roughness_after, ideal, plain, smoothed))
+
+    print(f"{'model':<14} {'R_pre':>7} {'R_post':>7} {'ideal':>7} "
+          f"{'deployed':>9} {'dep+2pi':>8} {'gap':>6} {'gap+2pi':>8}")
+    for label, r_pre, r_post, ideal, plain, smoothed in rows:
+        print(f"{label:<14} {r_pre:>7.1f} {r_post:>7.1f} "
+              f"{ideal * 100:>6.1f}% {plain * 100:>8.1f}% "
+              f"{smoothed * 100:>7.1f}% {(ideal - plain) * 100:>5.1f}% "
+              f"{(ideal - smoothed) * 100:>7.1f}%")
+
+    # Correlate roughness with the measured gap over every fabrication
+    # variant (each model, plain and 2-pi-smoothed topography).
+    samples = []
+    for _, r_pre, r_post, ideal, plain, smoothed in rows:
+        samples.append((r_pre, ideal - plain))
+        samples.append((r_post, ideal - smoothed))
+    roughness_values = [s[0] for s in samples]
+    gaps = [s[1] for s in samples]
+    if np.std(roughness_values) > 0 and np.std(gaps) > 0:
+        corr = float(np.corrcoef(roughness_values, gaps)[0, 1])
+        print(f"\ncorrelation(roughness, deployment gap) over all "
+              f"fabrications: r = {corr:+.2f}")
+    ours = rows[1]
+    print(f"2-pi smoothing shrinks Ours-C's deployment gap from "
+          f"{(ours[3] - ours[4]) * 100:.1f}% to "
+          f"{(ours[3] - ours[5]) * 100:.1f}% without retraining — "
+          f"smoother topography really is easier to deploy.")
+
+
+if __name__ == "__main__":
+    main()

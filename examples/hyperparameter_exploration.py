@@ -1,0 +1,70 @@
+"""Hyperparameter exploration (the paper's Fig. 6).
+
+Sweeps the sparsity ratio and the two regularization factors, printing
+accuracy and roughness for each setting plus the accuracy-vs-roughness
+Pareto frontier over all runs (Fig. 6a).
+
+This is the compute-heaviest example; shrink ``--train`` / ``--epochs``
+for a faster pass.
+
+Usage::
+
+    python examples/hyperparameter_exploration.py [--quick]
+"""
+
+import argparse
+
+from repro.pipeline import ExperimentConfig, prepare_data, run_sweep
+from repro.utils import pareto_frontier
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=32)
+    parser.add_argument("--train", type=int, default=600)
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--quick", action="store_true",
+                        help="2 points per sweep instead of 4")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    config = ExperimentConfig.laptop(
+        "digits", n=args.n, seed=args.seed, n_train=args.train,
+        n_test=max(150, args.train // 4), baseline_epochs=args.epochs,
+    )
+    data = prepare_data(config)
+    points = []
+
+    def report(title, parameter, values, recipe):
+        print(f"\n--- {title} ---")
+        results = run_sweep(config, parameter, values, recipe=recipe,
+                            data=data)
+        for value, result in zip(values, results):
+            print(f"{parameter}={value:<8g} acc={result.accuracy * 100:5.1f}% "
+                  f"R_pre={result.roughness_before:7.1f} "
+                  f"R_post={result.roughness_after:7.1f}")
+            points.append((result.accuracy, result.roughness_after))
+
+    if args.quick:
+        ratios, ps, qs = [0.1, 0.3], [1e-5, 1e-4], [1e-4, 1e-2]
+    else:
+        ratios = [0.05, 0.1, 0.2, 0.3]
+        ps = [0.0, 1e-5, 5e-5, 2e-4]
+        qs = [0.0, 1e-4, 1e-3, 1e-2]
+
+    report("Fig. 6b: sparsification ratio (Ours-B)", "sparsity_ratio",
+           ratios, "ours_b")
+    report("Fig. 6c: roughness regularization p (Ours-C)", "roughness_p",
+           ps, "ours_c")
+    report("Fig. 6d: intra-block regularization q (Ours-D)", "intra_q",
+           qs, "ours_d")
+
+    frontier = pareto_frontier(points)
+    print("\n--- Fig. 6a: Pareto frontier (accuracy vs roughness) ---")
+    for index in frontier:
+        acc, rough = points[index]
+        print(f"accuracy {acc * 100:5.1f}%  roughness {rough:7.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml`` (PEP 621); this file only
+enables legacy editable installs (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``) on machines where pip's PEP 660 path is
+unavailable because ``wheel`` cannot be downloaded.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — Physics-aware roughness optimization for diffractive optical
+neural networks (DONNs).
+
+A full reproduction of Zhou et al., "Physics-aware Roughness Optimization for
+Diffractive Optical Neural Networks" (DAC 2023), built on a from-scratch
+numpy autodiff engine.  See ``DESIGN.md`` for the system inventory and
+``EXPERIMENTS.md`` for the paper-vs-measured results.
+
+Subpackage guide:
+
+* :mod:`repro.autodiff` — reverse-mode autodiff over numpy (PyTorch stand-in)
+* :mod:`repro.optics`   — free-space propagation, fabrication, crosstalk
+* :mod:`repro.donn`     — the differentiable DONN model and trainer
+* :mod:`repro.roughness`— roughness / intra-block smoothness metrics (Eq. 3-4, 8)
+* :mod:`repro.sparsify` — block / unstructured / bank-balanced sparsity + SLR
+* :mod:`repro.twopi`    — Gumbel-Softmax 2-pi periodic phase optimization
+* :mod:`repro.data`     — synthetic MNIST/FMNIST/KMNIST/EMNIST-like datasets
+* :mod:`repro.pipeline` — the paper's experiment recipes and table harness
+"""
+
+from . import (
+    autodiff,
+    data,
+    donn,
+    optics,
+    pipeline,
+    roughness,
+    sparsify,
+    twopi,
+    utils,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autodiff",
+    "data",
+    "donn",
+    "optics",
+    "pipeline",
+    "roughness",
+    "sparsify",
+    "twopi",
+    "utils",
+    "__version__",
+]

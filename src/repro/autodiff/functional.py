@@ -1,0 +1,111 @@
+"""Neural-network functional layer built from autodiff primitives.
+
+Provides the handful of classic operations the DONN training loss needs:
+softmax, losses, activations and small statistics helpers.  Everything here
+is a composition of :mod:`repro.autodiff.ops` primitives, so gradients come
+for free and are covered by the primitive gradchecks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import ops
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "one_hot",
+    "softmax",
+    "log_softmax",
+    "relu",
+    "mse_softmax_loss",
+    "cross_entropy",
+    "variance",
+    "normalize_unit_power",
+]
+
+
+def one_hot(labels, num_classes: int) -> Tensor:
+    """Constant one-hot matrix (``float64``) from integer class labels."""
+    labels = np.asarray(labels)
+    if labels.ndim == 0:
+        labels = labels[None]
+    eye = np.eye(num_classes, dtype=np.float64)
+    return Tensor(eye[labels])
+
+
+def softmax(x, axis: int = -1) -> Tensor:
+    """Numerically stabilized softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - ops.max(x, axis=axis, keepdims=True).detach()
+    exps = ops.exp(shifted)
+    return exps / ops.sum(exps, axis=axis, keepdims=True)
+
+
+def log_softmax(x, axis: int = -1) -> Tensor:
+    """Numerically stabilized log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - ops.max(x, axis=axis, keepdims=True).detach()
+    logsum = ops.log(ops.sum(ops.exp(shifted), axis=axis, keepdims=True))
+    return shifted - logsum
+
+
+def relu(x) -> Tensor:
+    """Rectified linear unit (gradient 0 at the kink)."""
+    x = as_tensor(x)
+    mask = Tensor((x.data > 0).astype(x.data.dtype))
+    return x * mask
+
+
+def mse_softmax_loss(logits, targets, num_classes: Optional[int] = None) -> Tensor:
+    """The paper's training loss: ``l = || softmax(I) - t ||^2`` (Eq. 5).
+
+    ``logits`` has shape ``(batch, classes)`` (detector-region intensity
+    sums); ``targets`` are integer labels.  The squared L2 distance between
+    the softmax distribution and the one-hot target is averaged over the
+    batch.
+    """
+    logits = as_tensor(logits)
+    if num_classes is None:
+        num_classes = logits.shape[-1]
+    target_dist = one_hot(targets, num_classes)
+    diff = softmax(logits, axis=-1) - target_dist
+    per_sample = ops.sum(diff * diff, axis=-1)
+    return ops.mean(per_sample)
+
+
+def cross_entropy(logits, targets) -> Tensor:
+    """Mean cross-entropy from raw logits and integer labels."""
+    logits = as_tensor(logits)
+    logp = log_softmax(logits, axis=-1)
+    batch = logp.shape[0]
+    picked = ops.getitem(logp, (np.arange(batch), np.asarray(targets)))
+    return -ops.mean(picked)
+
+
+def variance(x, axis=None, ddof: int = 0, keepdims: bool = False) -> Tensor:
+    """Differentiable variance (``ddof`` as in :func:`numpy.var`)."""
+    x = as_tensor(x)
+    if axis is None:
+        count = x.size
+    else:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        count = int(np.prod([x.shape[ax % x.ndim] for ax in axes]))
+    if count - ddof <= 0:
+        raise ValueError(f"variance needs count > ddof (count={count}, ddof={ddof})")
+    centered = x - ops.mean(x, axis=axis, keepdims=True)
+    squared = ops.sum(centered * centered, axis=axis, keepdims=keepdims)
+    return squared * (1.0 / (count - ddof))
+
+
+def normalize_unit_power(field) -> Tensor:
+    """Scale a complex field so its total intensity (power) equals 1.
+
+    Used to normalize encoded input fields so that detector intensities are
+    comparable across images regardless of ink coverage.
+    """
+    field = as_tensor(field)
+    power = ops.sum(ops.abs2(field), axis=(-2, -1), keepdims=True)
+    return field / ops.sqrt(power + 1e-30)

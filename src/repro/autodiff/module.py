@@ -1,0 +1,114 @@
+"""Minimal module/parameter system (the ``torch.nn.Module`` analogue).
+
+Modules auto-register :class:`Parameter` attributes and child modules, expose
+recursive parameter iteration and flat ``state_dict`` round-tripping — enough
+to express DONN models, optimizers and checkpointing without PyTorch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A trainable leaf tensor (``requires_grad=True`` by default)."""
+
+    def __init__(self, data, requires_grad: bool = True, name: Optional[str] = None):
+        super().__init__(np.array(data, copy=True), requires_grad=requires_grad,
+                         name=name)
+
+
+class Module:
+    """Base class with automatic parameter / submodule registration."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, key: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[key] = value
+        elif isinstance(value, Module):
+            self._modules[key] = value
+        object.__setattr__(self, key, value)
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters of this module and its children."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs recursively."""
+        for key, param in self._parameters.items():
+            yield (f"{prefix}{key}", param)
+        for key, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{key}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants (depth first)."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    # ------------------------------------------------------------------
+    # Training utilities
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (returned for chaining)."""
+        for module in self.modules():
+            object.__setattr__(module, "training", bool(mode))
+        return self
+
+    def eval(self) -> "Module":
+        """Set inference mode recursively."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat mapping of parameter names to copied arrays."""
+        return {
+            name: np.array(param.data, copy=True)
+            for name, param in self.named_parameters()
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter arrays produced by :meth:`state_dict`.
+
+        Raises ``KeyError`` on missing entries and ``ValueError`` on shape
+        mismatch — silent partial loads hide real bugs.
+        """
+        params = dict(self.named_parameters())
+        missing = sorted(set(params) - set(state))
+        if missing:
+            raise KeyError(f"state dict is missing parameters: {missing}")
+        for name, param in params.items():
+            value = np.asarray(state[name])
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: expected {param.shape}, "
+                    f"got {value.shape}"
+                )
+            param.data = value.astype(param.data.dtype, copy=True)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError("Module subclasses must implement forward()")

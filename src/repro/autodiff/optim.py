@@ -1,0 +1,152 @@
+"""First-order optimizers and learning-rate schedules.
+
+The paper trains with Adam (lr 0.2 for baselines, 0.001 during SLR
+sparsification); SGD is provided for tests and ablations.  Both optimizers
+support complex parameters elementwise — the second Adam moment uses
+``|g|^2`` so complex phases could be optimized directly if desired.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "StepLR", "ExponentialLR"]
+
+
+class Optimizer:
+    """Base class: holds parameters and the current learning rate."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float) -> None:
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        for param in self.params:
+            if not param.requires_grad:
+                raise ValueError("all optimized tensors must require grad")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every managed parameter."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def step(self) -> None:
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                if self._velocity[index] is None:
+                    self._velocity[index] = np.zeros_like(param.data)
+                self._velocity[index] = (
+                    self.momentum * self._velocity[index] + grad
+                )
+                grad = self._velocity[index]
+            param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014) with bias correction."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = float(betas[0]), float(betas[1])
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.params)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self._m[index] is None:
+                self._m[index] = np.zeros_like(param.data)
+                self._v[index] = np.zeros(param.data.shape, dtype=np.float64)
+            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
+            grad_sq = (grad * np.conj(grad)).real
+            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * grad_sq
+            m_hat = self._m[index] / bias1
+            v_hat = self._v[index] / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class _Scheduler:
+    """Base learning-rate schedule; call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self._lr_at(self.epoch)
+
+    def _lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepLR(_Scheduler):
+    """Decay the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class ExponentialLR(_Scheduler):
+    """Multiply the learning rate by ``gamma`` each epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float):
+        super().__init__(optimizer)
+        self.gamma = float(gamma)
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** epoch

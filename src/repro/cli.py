@@ -1,0 +1,137 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+* ``quickstart`` — train a small DONN and print accuracy/roughness;
+* ``recipe``     — run one of the paper's recipes (baseline, ours_a..d);
+* ``table``      — reproduce a full paper table (five recipes);
+* ``solvers``    — compare the 2-pi solvers (Gumbel-Softmax vs greedy)
+  on a trained, sparsified mask.
+
+Every command accepts ``--n/--train/--epochs/--seed`` so runs scale from
+smoke tests to full experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .pipeline import (
+    RECIPES,
+    ExperimentConfig,
+    format_comparison,
+    format_table,
+    run_recipe,
+    run_table,
+)
+
+__all__ = ["build_parser", "main"]
+
+FAMILIES = ("digits", "fashion", "kuzushiji", "letters")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Physics-aware roughness optimization for DONNs "
+                    "(DAC'23 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scale_args(p):
+        p.add_argument("--family", choices=FAMILIES, default="digits")
+        p.add_argument("--n", type=int, default=40)
+        p.add_argument("--train", type=int, default=900)
+        p.add_argument("--test", type=int, default=300)
+        p.add_argument("--epochs", type=int, default=10)
+        p.add_argument("--seed", type=int, default=0)
+
+    quick = sub.add_parser("quickstart", help="train a small DONN")
+    add_scale_args(quick)
+
+    recipe = sub.add_parser("recipe", help="run one paper recipe")
+    add_scale_args(recipe)
+    recipe.add_argument("--recipe", choices=RECIPES, default="ours_c")
+
+    table = sub.add_parser("table", help="reproduce a full paper table")
+    add_scale_args(table)
+
+    solvers = sub.add_parser("solvers",
+                             help="compare 2-pi solvers on one mask")
+    add_scale_args(solvers)
+    return parser
+
+
+def _config(args) -> ExperimentConfig:
+    return ExperimentConfig.laptop(
+        args.family,
+        n=args.n,
+        seed=args.seed,
+        n_train=args.train,
+        n_test=args.test,
+        baseline_epochs=args.epochs,
+    )
+
+
+def _cmd_quickstart(args) -> int:
+    result = run_recipe("baseline", _config(args))
+    print(f"accuracy          : {result.accuracy * 100:.2f}%")
+    print(f"R_overall (pre/post 2pi): {result.roughness_before:.2f} / "
+          f"{result.roughness_after:.2f}")
+    return 0
+
+
+def _cmd_recipe(args) -> int:
+    result = run_recipe(args.recipe, _config(args))
+    print(f"{result.label}: accuracy {result.accuracy * 100:.2f}%  "
+          f"R_pre {result.roughness_before:.2f}  "
+          f"R_post {result.roughness_after:.2f}  "
+          f"sparsity {result.sparsity * 100:.0f}%")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    table = run_table(_config(args))
+    print(format_table(table))
+    print()
+    print(format_comparison(table))
+    return 0
+
+
+def _cmd_solvers(args) -> int:
+    from .pipeline.ablations import compare_twopi_solvers
+
+    result = run_recipe("ours_b", _config(args))
+    phase = result.model.phases()[0]
+    block = result.model.config.n // (
+        result.model.config.n // _config(args).slr.block_size
+    )
+    comparison = compare_twopi_solvers(phase, block_size=block,
+                                       seed=args.seed)
+    print(f"2-pi solver comparison on a sparsified layer "
+          f"(R before = {comparison['before']:.2f}):")
+    for name in ("gumbel_softmax", "greedy", "gumbel_plus_greedy"):
+        value = comparison[name]
+        drop = (1 - value / comparison["before"]) * 100
+        print(f"  {name:<20} R after = {value:8.2f}  ({drop:5.1f}% drop)")
+    return 0
+
+
+_COMMANDS = {
+    "quickstart": _cmd_quickstart,
+    "recipe": _cmd_recipe,
+    "table": _cmd_table,
+    "solvers": _cmd_solvers,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

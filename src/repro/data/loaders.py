@@ -1,0 +1,74 @@
+"""Mini-batch iteration over datasets.
+
+A tiny DataLoader in the PyTorch mold: shuffled epochs, fixed batch size,
+optional drop of the ragged tail batch.  Batches are plain numpy arrays
+(images, labels); the trainer converts images to complex fields.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .synthetic import Dataset
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate ``(images, labels)`` batches over a :class:`Dataset`.
+
+    Parameters
+    ----------
+    dataset:
+        Source dataset.
+    batch_size:
+        Samples per batch (the paper uses 200).
+    shuffle:
+        Reshuffle sample order at the start of every epoch.
+    drop_last:
+        Drop the final ragged batch when the dataset size is not a
+        multiple of ``batch_size``.
+    seed:
+        Seed of the private shuffling stream (kept separate from the
+        global RNG so data order is reproducible per loader).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch_size}")
+        if batch_size > len(dataset) and drop_last:
+            raise ValueError(
+                f"batch size {batch_size} exceeds dataset size "
+                f"{len(dataset)} with drop_last=True; no batches would run"
+            )
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            index = order[start:start + self.batch_size]
+            if self.drop_last and len(index) < self.batch_size:
+                return
+            yield self.dataset.images[index], self.dataset.labels[index]

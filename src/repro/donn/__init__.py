@@ -1,0 +1,35 @@
+"""The differentiable DONN: encoding, layers, detectors, model, training.
+
+The paper's Sec. III-A pipeline: images are amplitude-encoded on a coherent
+source, diffract through trainable phase masks (``DiffMod`` modules), and
+land on a detector plane whose per-region intensity sums are the class
+logits.
+"""
+
+from .detectors import DetectorLayout, DetectorPlane
+from .encoding import bilinear_resize, encode_amplitude
+from .evaluation import (
+    accuracy,
+    confusion_matrix,
+    deployed_accuracy,
+    deployment_gap,
+)
+from .layers import DiffractiveLayer
+from .model import DONN, DONNConfig
+from .training import Trainer, TrainingHistory
+
+__all__ = [
+    "DetectorLayout",
+    "DetectorPlane",
+    "bilinear_resize",
+    "encode_amplitude",
+    "DiffractiveLayer",
+    "DONN",
+    "DONNConfig",
+    "Trainer",
+    "TrainingHistory",
+    "accuracy",
+    "confusion_matrix",
+    "deployed_accuracy",
+    "deployment_gap",
+]

@@ -1,0 +1,104 @@
+"""Evaluation utilities: accuracy, confusion matrices, deployment gap."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..autodiff import no_grad
+from ..data.loaders import DataLoader
+from ..data.synthetic import Dataset
+from ..optics.crosstalk import CrosstalkModel
+from .model import DONN
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "deployed_accuracy",
+    "deployment_gap",
+]
+
+
+def _iter_batches(data: Union[DataLoader, Dataset], batch_size: int = 256):
+    if isinstance(data, DataLoader):
+        yield from data
+        return
+    for start in range(0, len(data), batch_size):
+        yield (data.images[start:start + batch_size],
+               data.labels[start:start + batch_size])
+
+
+@no_grad()
+def accuracy(model: DONN, data: Union[DataLoader, Dataset],
+             batch_size: int = 256) -> float:
+    """Fraction of correctly classified samples."""
+    correct = 0
+    seen = 0
+    for images, labels in _iter_batches(data, batch_size):
+        predictions = model.predict(images)
+        correct += int((predictions == labels).sum())
+        seen += len(labels)
+    if seen == 0:
+        raise ValueError("no samples to evaluate")
+    return correct / seen
+
+
+@no_grad()
+def confusion_matrix(model: DONN, data: Union[DataLoader, Dataset],
+                     batch_size: int = 256) -> np.ndarray:
+    """``(classes, classes)`` counts with rows = true, columns = predicted."""
+    classes = model.config.num_classes
+    matrix = np.zeros((classes, classes), dtype=np.int64)
+    for images, labels in _iter_batches(data, batch_size):
+        predictions = model.predict(images)
+        for true, pred in zip(labels, predictions):
+            matrix[int(true), int(pred)] += 1
+    return matrix
+
+
+@no_grad()
+def deployed_accuracy(
+    model: DONN,
+    data: Union[DataLoader, Dataset],
+    crosstalk: CrosstalkModel,
+    phases: Optional[Sequence[np.ndarray]] = None,
+    batch_size: int = 256,
+) -> float:
+    """Accuracy of the *fabricated* system under interpixel crosstalk.
+
+    ``phases`` are the unwrapped physical phase profiles to fabricate
+    (defaulting to the model's wrapped masks); pass masks with 2-pi
+    add-ons to evaluate the smoothed fabrication.
+    """
+    if phases is None:
+        phases = model.phases(wrapped=True)
+    modulations: List[np.ndarray] = [
+        crosstalk.degrade_modulation(phase) for phase in phases
+    ]
+    correct = 0
+    seen = 0
+    for images, labels in _iter_batches(data, batch_size):
+        logits = model.forward_with_modulations(images, modulations).data
+        predictions = np.argmax(np.atleast_2d(logits), axis=-1)
+        correct += int((predictions == labels).sum())
+        seen += len(labels)
+    if seen == 0:
+        raise ValueError("no samples to evaluate")
+    return correct / seen
+
+
+def deployment_gap(
+    model: DONN,
+    data: Union[DataLoader, Dataset],
+    crosstalk: CrosstalkModel,
+    phases: Optional[Sequence[np.ndarray]] = None,
+) -> float:
+    """Numerical-model accuracy minus deployed (crosstalk) accuracy.
+
+    The quantity the paper's roughness score is a proxy for: smoother
+    masks should show a smaller gap.
+    """
+    ideal = accuracy(model, data)
+    deployed = deployed_accuracy(model, data, crosstalk, phases=phases)
+    return ideal - deployed

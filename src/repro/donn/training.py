@@ -1,0 +1,155 @@
+"""Training loop for DONN models.
+
+The paper's loss (Eq. 5 / Eq. 8) is the MSE-of-softmax classification term
+plus optional differentiable regularizers (roughness ``p * R(W)`` and
+intra-block smoothness ``q * R_intra(W)``).  The trainer takes the
+regularizers as callables ``model -> Tensor`` so the roughness package can
+plug in without a dependency cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import Adam, Optimizer, Tensor
+from ..autodiff import functional as F
+from ..data.loaders import DataLoader
+from .model import DONN
+
+__all__ = ["TrainingHistory", "Trainer"]
+
+Regularizer = Callable[[DONN], Tensor]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training curves."""
+
+    loss: List[float] = field(default_factory=list)
+    classification_loss: List[float] = field(default_factory=list)
+    regularization_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {
+            "loss": self.loss,
+            "classification_loss": self.classification_loss,
+            "regularization_loss": self.regularization_loss,
+            "train_accuracy": self.train_accuracy,
+            "test_accuracy": self.test_accuracy,
+        }
+
+
+class Trainer:
+    """Mini-batch gradient training of a :class:`DONN`.
+
+    Parameters
+    ----------
+    model:
+        The DONN to optimize.
+    optimizer:
+        Any :class:`~repro.autodiff.optim.Optimizer`; defaults to Adam with
+        the paper's baseline learning rate 0.2.
+    regularizers:
+        Differentiable penalties added to the classification loss — e.g.
+        ``RoughnessRegularizer`` (p * R) and ``IntraBlockRegularizer``
+        (q * R_intra).
+    """
+
+    def __init__(
+        self,
+        model: DONN,
+        optimizer: Optional[Optimizer] = None,
+        regularizers: Sequence[Regularizer] = (),
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer or Adam(model.parameters(), lr=0.2)
+        self.regularizers = list(regularizers)
+
+    # ------------------------------------------------------------------
+    # Loss
+    # ------------------------------------------------------------------
+    def loss(self, images: np.ndarray, labels: np.ndarray) -> tuple:
+        """Return ``(total, classification, regularization)`` tensors."""
+        logits = self.model(images)
+        classification = F.mse_softmax_loss(
+            logits, labels, num_classes=self.model.config.num_classes
+        )
+        total = classification
+        reg_total: Optional[Tensor] = None
+        for regularizer in self.regularizers:
+            term = regularizer(self.model)
+            reg_total = term if reg_total is None else reg_total + term
+        if reg_total is not None:
+            total = total + reg_total
+        return total, classification, reg_total
+
+    # ------------------------------------------------------------------
+    # Epoch driver
+    # ------------------------------------------------------------------
+    def train_epoch(self, loader: DataLoader) -> Dict[str, float]:
+        """One pass over ``loader``; returns epoch-mean metrics."""
+        totals = {"loss": 0.0, "classification": 0.0, "regularization": 0.0}
+        correct = 0
+        seen = 0
+        for images, labels in loader:
+            self.optimizer.zero_grad()
+            total, classification, regularization = self.loss(images, labels)
+            total.backward()
+            self.optimizer.step()
+
+            batch = len(labels)
+            seen += batch
+            totals["loss"] += total.item() * batch
+            totals["classification"] += classification.item() * batch
+            if regularization is not None:
+                totals["regularization"] += regularization.item() * batch
+            predictions = self.model.predict(images)
+            correct += int((predictions == labels).sum())
+        if seen == 0:
+            raise ValueError("loader produced no batches")
+        return {
+            "loss": totals["loss"] / seen,
+            "classification_loss": totals["classification"] / seen,
+            "regularization_loss": totals["regularization"] / seen,
+            "train_accuracy": correct / seen,
+        }
+
+    def fit(
+        self,
+        train_loader: DataLoader,
+        epochs: int,
+        test_loader: Optional[DataLoader] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` passes; optionally track test accuracy."""
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        history = TrainingHistory()
+        for epoch in range(epochs):
+            metrics = self.train_epoch(train_loader)
+            history.loss.append(metrics["loss"])
+            history.classification_loss.append(metrics["classification_loss"])
+            history.regularization_loss.append(metrics["regularization_loss"])
+            history.train_accuracy.append(metrics["train_accuracy"])
+            if test_loader is not None:
+                from .evaluation import accuracy
+
+                history.test_accuracy.append(
+                    accuracy(self.model, test_loader)
+                )
+            if verbose:
+                test_note = (
+                    f" test_acc={history.test_accuracy[-1]:.3f}"
+                    if test_loader is not None else ""
+                )
+                print(
+                    f"epoch {epoch + 1}/{epochs} "
+                    f"loss={metrics['loss']:.4f} "
+                    f"acc={metrics['train_accuracy']:.3f}{test_note}"
+                )
+        return history

@@ -1,0 +1,55 @@
+"""Physical constants and the paper's published system parameters.
+
+All quantities use SI units (meters).  The DAC'23 system (Sec. IV-A):
+
+* three diffractive layers of 200 x 200 pixels;
+* pixel size 36 um (layer side 7.2 mm; the paper's "720 um x 720 um" is a
+  typo — 200 x 36 um = 7.2 mm);
+* coherent source wavelength 532 nm (green laser);
+* distance source -> L1, between layers, and L3 -> detector: 27.94 cm;
+* ten 20 x 20-pixel detector regions placed evenly on the detector plane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Wavelength of the coherent laser source (532 nm, Sec. IV-A1).
+PAPER_WAVELENGTH = 532e-9
+
+#: Pixel pitch of each diffractive layer (36 um, Sec. IV-A1).
+PAPER_PIXEL_PITCH = 36e-6
+
+#: Mask resolution (200 x 200 pixels, Sec. IV-A1).
+PAPER_MASK_SIZE = 200
+
+#: Layer-to-layer / source / detector spacing (27.94 cm = 11 in, Sec. IV-A1).
+PAPER_DISTANCE = 27.94e-2
+
+#: Number of diffractive layers in the published system.
+PAPER_NUM_LAYERS = 3
+
+#: Side length of each square detector region (20 x 20 pixels).
+PAPER_DETECTOR_SIZE = 20
+
+#: Number of classes / detector regions.
+PAPER_NUM_CLASSES = 10
+
+#: Refractive index used by the fabrication model (clear photopolymer resins
+#: used for 3D-printed masks are n ~ 1.5 in the visible band).
+PRINT_REFRACTIVE_INDEX = 1.5
+
+TWO_PI = 2.0 * np.pi
+
+
+def fresnel_number(aperture: float, wavelength: float, distance: float) -> float:
+    """Fresnel number ``N_F = a^2 / (lambda z)`` of a square aperture.
+
+    ``a`` is the half-side of the aperture.  Used to scale the propagation
+    distance when shrinking the published 200 x 200 system down to
+    laptop-sized grids while keeping the diffraction regime comparable.
+    """
+    if aperture <= 0 or wavelength <= 0 or distance <= 0:
+        raise ValueError("aperture, wavelength and distance must be positive")
+    half_side = aperture / 2.0
+    return half_side ** 2 / (wavelength * distance)

@@ -1,0 +1,149 @@
+"""Interpixel crosstalk: the deployment-gap simulator.
+
+The paper's central physical argument (Sec. I, II-B): sharp thickness
+changes between adjacent pixels create a fast-varying incident field that
+the pixel-wise numerical model does not capture, so digitally trained DONNs
+lose accuracy when deployed ([6] reports >= 30 % degradation).  Roughness
+(Eq. 3-4) is the paper's *proxy* for this effect; the paper itself never
+re-measures hardware accuracy.
+
+This module closes that loop in simulation so "lower roughness => smaller
+deployment gap" becomes a measurable claim: each fabricated layer's
+*thickness profile* is degraded by a local coupling kernel (neighboring
+material partially averages, as in diffusive inter-pixel crosstalk models of
+the FPA literature [14]), optionally with scattering loss at steep steps.
+Because coupling acts on physical thickness, masks smoothed by the 2-pi
+trick genuinely suffer less distortion, exactly as the paper argues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+from scipy import ndimage
+
+from . import constants
+from .fabrication import phase_to_thickness, thickness_to_phase
+
+__all__ = ["CrosstalkModel"]
+
+
+def _coupling_kernel(strength: float) -> np.ndarray:
+    """3x3 coupling kernel: center keeps ``1 - strength``; the leaked
+    fraction spreads over the 8 neighbors with edge pixels weighted twice
+    the diagonals (distance weighting)."""
+    edge, corner = 2.0, 1.0
+    neighbors = np.array(
+        [[corner, edge, corner], [edge, 0.0, edge], [corner, edge, corner]]
+    )
+    neighbors = neighbors / neighbors.sum() * strength
+    kernel = neighbors.copy()
+    kernel[1, 1] = 1.0 - strength
+    return kernel
+
+
+@dataclass(frozen=True)
+class CrosstalkModel:
+    """Roughness-sensitive degradation of fabricated phase masks.
+
+    Parameters
+    ----------
+    strength:
+        Fraction of each pixel's effective thickness contributed by its
+        neighborhood (0 disables coupling entirely).
+    scatter_coefficient:
+        Optional amplitude loss at steep steps: transmission amplitude
+        ``exp(-c * |grad t| / lambda)`` models light scattered out of the
+        propagating mode at sharp walls.  0 disables.
+    wavelength, refractive_index:
+        Material model forwarded to the fabrication conversions.
+    """
+
+    strength: float = 0.15
+    scatter_coefficient: float = 0.0
+    wavelength: float = constants.PAPER_WAVELENGTH
+    refractive_index: float = constants.PRINT_REFRACTIVE_INDEX
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.strength < 1.0:
+            raise ValueError(
+                f"coupling strength must be in [0, 1), got {self.strength}"
+            )
+        if self.scatter_coefficient < 0:
+            raise ValueError("scatter coefficient must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Thickness-domain physics
+    # ------------------------------------------------------------------
+    def couple_thickness(self, thickness: np.ndarray) -> np.ndarray:
+        """Apply neighborhood coupling to a thickness profile (meters).
+
+        Edge handling replicates the boundary pixel (material simply ends;
+        'nearest' avoids phantom zero-thickness neighbors).
+        """
+        if self.strength == 0.0:
+            return np.array(thickness, copy=True)
+        kernel = _coupling_kernel(self.strength)
+        return ndimage.convolve(np.asarray(thickness, dtype=float), kernel,
+                                mode="nearest")
+
+    def step_magnitude(self, thickness: np.ndarray) -> np.ndarray:
+        """Mean absolute thickness step to the 4 adjacent pixels."""
+        t = np.asarray(thickness, dtype=float)
+        padded = np.pad(t, 1, mode="edge")
+        steps = (
+            np.abs(padded[:-2, 1:-1] - t)
+            + np.abs(padded[2:, 1:-1] - t)
+            + np.abs(padded[1:-1, :-2] - t)
+            + np.abs(padded[1:-1, 2:] - t)
+        ) / 4.0
+        return steps
+
+    # ------------------------------------------------------------------
+    # Phase-domain interface used by deployment evaluation
+    # ------------------------------------------------------------------
+    def degrade_phase(self, phase: np.ndarray) -> np.ndarray:
+        """Effective phase a deployed mask imparts, given ideal ``phase``.
+
+        ``phase`` is the *unwrapped* trained phase (including any 2-pi
+        add-ons); the round trip is phase -> thickness -> coupling ->
+        phase.
+        """
+        thickness = phase_to_thickness(
+            phase, self.wavelength, self.refractive_index
+        )
+        coupled = self.couple_thickness(thickness)
+        return thickness_to_phase(coupled, self.wavelength,
+                                  self.refractive_index)
+
+    def transmission_amplitude(self, phase: np.ndarray) -> np.ndarray:
+        """Per-pixel amplitude transmission (1 everywhere when scattering
+        is disabled)."""
+        if self.scatter_coefficient == 0.0:
+            return np.ones_like(np.asarray(phase, dtype=float))
+        thickness = phase_to_thickness(
+            phase, self.wavelength, self.refractive_index
+        )
+        steps = self.step_magnitude(thickness)
+        return np.exp(-self.scatter_coefficient * steps / self.wavelength)
+
+    def degrade_modulation(self, phase: np.ndarray) -> np.ndarray:
+        """Complex transmission ``a * exp(i phi_eff)`` of the deployed mask."""
+        return self.transmission_amplitude(phase) * np.exp(
+            1j * self.degrade_phase(phase)
+        )
+
+    def degrade_phases(self, phases: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Degrade every layer of a trained stack."""
+        return [self.degrade_phase(p) for p in phases]
+
+    def phase_error(self, phase: np.ndarray) -> float:
+        """RMS difference between ideal and deployed phase (radians).
+
+        Correlates with the layer's roughness; reported alongside the
+        deployment accuracy gap in the benches.
+        """
+        diff = self.degrade_phase(phase) - np.asarray(phase, dtype=float)
+        return float(np.sqrt(np.mean(diff ** 2)))

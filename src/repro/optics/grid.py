@@ -1,0 +1,131 @@
+"""Simulation grid: sampling geometry shared by every optical computation.
+
+A :class:`SimulationGrid` couples the pixel count, the physical pixel pitch
+and the illumination wavelength.  Spatial-frequency axes follow the numpy FFT
+layout (DC first), so transfer functions built from :meth:`frequencies` can
+be multiplied directly against un-shifted FFTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+import numpy as np
+
+from . import constants
+
+__all__ = ["SimulationGrid"]
+
+
+@dataclass(frozen=True)
+class SimulationGrid:
+    """Uniform square sampling grid for scalar diffraction.
+
+    Parameters
+    ----------
+    n:
+        Number of pixels per side (the mask resolution).
+    pixel_pitch:
+        Physical pixel size in meters.
+    wavelength:
+        Illumination wavelength in meters.
+    """
+
+    n: int
+    pixel_pitch: float
+    wavelength: float
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"grid needs at least 2 pixels per side, got {self.n}")
+        if self.pixel_pitch <= 0:
+            raise ValueError(f"pixel pitch must be positive, got {self.pixel_pitch}")
+        if self.wavelength <= 0:
+            raise ValueError(f"wavelength must be positive, got {self.wavelength}")
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def side_length(self) -> float:
+        """Physical side length of the simulated aperture in meters."""
+        return self.n * self.pixel_pitch
+
+    @property
+    def wavenumber(self) -> float:
+        """Free-space wavenumber ``k = 2 pi / lambda``."""
+        return constants.TWO_PI / self.wavelength
+
+    @property
+    def nyquist_frequency(self) -> float:
+        """Highest representable spatial frequency, ``1 / (2 dx)``."""
+        return 0.5 / self.pixel_pitch
+
+    def coordinates(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return centered physical coordinate grids ``(x, y)`` in meters."""
+        axis = (np.arange(self.n) - (self.n - 1) / 2.0) * self.pixel_pitch
+        return np.meshgrid(axis, axis, indexing="xy")
+
+    def frequencies(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return spatial-frequency grids ``(fx, fy)`` in cycles/meter.
+
+        Uses the un-shifted FFT ordering so results align with
+        ``np.fft.fft2`` output bins.
+        """
+        freq = np.fft.fftfreq(self.n, d=self.pixel_pitch)
+        return np.meshgrid(freq, freq, indexing="xy")
+
+    def fresnel_number(self, distance: float) -> float:
+        """Fresnel number of the full aperture at propagation ``distance``."""
+        return constants.fresnel_number(self.side_length, self.wavelength,
+                                        distance)
+
+    # ------------------------------------------------------------------
+    # Rescaling helpers
+    # ------------------------------------------------------------------
+    def with_padding(self, pad_factor: int) -> "SimulationGrid":
+        """Return the enlarged grid used internally for padded propagation."""
+        if pad_factor < 1:
+            raise ValueError(f"pad factor must be >= 1, got {pad_factor}")
+        return replace(self, n=self.n * pad_factor)
+
+    def scaled_distance(
+        self,
+        reference_n: int,
+        reference_distance: float,
+        mode: str = "connectivity",
+    ) -> float:
+        """Layer spacing for a rescaled system, from a reference geometry.
+
+        Two physically meaningful rules when shrinking the published
+        200 x 200 aperture to ``n`` pixels at the same pitch:
+
+        * ``"connectivity"`` (default): keep each pixel's diffraction-cone
+          fan-out constant *as a fraction of the aperture*.  The cone covers
+          ``lambda z / dx`` meters, i.e. ``lambda z / dx^2`` pixels, so the
+          fraction is ``lambda z / (dx^2 n)`` and preserving it scales the
+          distance linearly with ``n``.  This is what makes small DONNs
+          train like the published one (neurons stay densely connected).
+        * ``"fresnel"``: keep the aperture Fresnel number
+          ``(n dx / 2)^2 / (lambda z)`` constant — distance scales with
+          ``n^2``.  Preserves the whole-aperture diffraction regime instead.
+        """
+        ratio = self.n / reference_n
+        if mode == "connectivity":
+            return reference_distance * ratio
+        if mode == "fresnel":
+            return reference_distance * ratio ** 2
+        raise ValueError(
+            f"unknown scaling mode {mode!r}; expected 'connectivity' or "
+            "'fresnel'"
+        )
+
+    @classmethod
+    def paper(cls) -> "SimulationGrid":
+        """The exact published geometry (200 x 200, 36 um, 532 nm)."""
+        return cls(
+            n=constants.PAPER_MASK_SIZE,
+            pixel_pitch=constants.PAPER_PIXEL_PITCH,
+            wavelength=constants.PAPER_WAVELENGTH,
+        )

@@ -1,0 +1,206 @@
+"""Free-space scalar diffraction (the paper's non-trainable parameter set).
+
+The DONN forward model (Sec. III-A, Eq. 1) propagates a coherent field
+between diffractive layers.  Equation 1's convolution with the free-space
+impulse response ``h`` is evaluated spectrally::
+
+    U1 = U0 * H(fx, fy, z)          (pointwise, in the Fourier domain)
+
+Three standard approximations of ``H`` are provided:
+
+* **angular spectrum / Rayleigh-Sommerfeld transfer function** (exact for
+  band-limited fields) — the default, as in mainstream DONN codebases;
+* **Fresnel transfer function** (paraxial approximation);
+* **Fraunhofer** far field (single FFT, reference only).
+
+A direct space-domain Rayleigh-Sommerfeld impulse-response kernel is also
+included purely as a cross-validation oracle for the tests.
+
+:class:`Propagator` wraps a precomputed transfer function into a
+differentiable callable (pad -> FFT -> multiply -> iFFT -> crop) built on
+:mod:`repro.autodiff`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autodiff import Tensor, as_tensor
+from ..autodiff import ops
+from ..autodiff.fft import fft2, ifft2
+from .grid import SimulationGrid
+
+__all__ = [
+    "angular_spectrum_tf",
+    "fresnel_tf",
+    "fraunhofer_pattern",
+    "rayleigh_sommerfeld_ir",
+    "Propagator",
+]
+
+
+def angular_spectrum_tf(
+    grid: SimulationGrid,
+    distance: float,
+    band_limit: bool = True,
+) -> np.ndarray:
+    """Angular-spectrum transfer function ``H(fx, fy; z)``.
+
+    ``H = exp(i 2 pi z sqrt(1/lambda^2 - fx^2 - fy^2))`` for propagating
+    components; evanescent components decay exponentially.  With
+    ``band_limit=True`` the Matsushima-Shimobaba band limit suppresses the
+    aliased high-frequency fringes that otherwise wrap around the grid for
+    long propagation distances.
+
+    Negative ``distance`` back-propagates (the conjugate kernel).
+    """
+    fx, fy = grid.frequencies()
+    inv_lambda_sq = 1.0 / grid.wavelength ** 2
+    arg = inv_lambda_sq - fx ** 2 - fy ** 2
+    propagating = arg >= 0
+
+    kz = 2.0 * np.pi * np.sqrt(np.where(propagating, arg, 0.0))
+    decay = 2.0 * np.pi * np.sqrt(np.where(propagating, 0.0, -arg))
+    h = np.where(
+        propagating,
+        np.exp(1j * kz * distance),
+        np.exp(-decay * abs(distance)),
+    )
+
+    if band_limit and distance != 0.0:
+        delta_f = 1.0 / (grid.n * grid.pixel_pitch)
+        f_limit = 1.0 / (
+            grid.wavelength * np.sqrt((2.0 * delta_f * abs(distance)) ** 2 + 1.0)
+        )
+        h = h * ((np.abs(fx) <= f_limit) & (np.abs(fy) <= f_limit))
+    return h.astype(np.complex128)
+
+
+def fresnel_tf(grid: SimulationGrid, distance: float) -> np.ndarray:
+    """Fresnel (paraxial) transfer function.
+
+    ``H = exp(i k z) exp(-i pi lambda z (fx^2 + fy^2))`` — the small-angle
+    expansion of the angular-spectrum kernel.  Valid when the significant
+    spatial frequencies satisfy ``lambda * f << 1``.
+    """
+    fx, fy = grid.frequencies()
+    k = grid.wavenumber
+    quadratic = np.pi * grid.wavelength * distance * (fx ** 2 + fy ** 2)
+    return (np.exp(1j * k * distance) * np.exp(-1j * quadratic)).astype(
+        np.complex128
+    )
+
+
+def fraunhofer_pattern(field: np.ndarray, grid: SimulationGrid,
+                       distance: float) -> np.ndarray:
+    """Far-field (Fraunhofer) complex amplitude via a single FFT.
+
+    Returns the field sampled at pitch ``lambda z / (N dx)``; used as a
+    physical sanity reference, not in the DONN forward path (the published
+    system is in the Fresnel regime).
+    """
+    if distance <= 0:
+        raise ValueError("Fraunhofer pattern requires a positive distance")
+    k = grid.wavenumber
+    scaled = np.fft.fftshift(np.fft.fft2(np.fft.ifftshift(field), norm="ortho"))
+    prefactor = np.exp(1j * k * distance) / (1j * grid.wavelength * distance)
+    return prefactor * scaled
+
+
+def rayleigh_sommerfeld_ir(grid: SimulationGrid, distance: float) -> np.ndarray:
+    """Sampled Rayleigh-Sommerfeld (type I) impulse response ``h(x, y; z)``.
+
+    ``h = (z / 2 pi) * exp(i k r) / r^2 * (1/r - i k)`` with
+    ``r = sqrt(x^2 + y^2 + z^2)``.  Returned centered on the grid; convolve
+    (times ``dx^2``) to propagate.  Tests use it as an independent oracle for
+    the transfer-function path.
+    """
+    if distance <= 0:
+        raise ValueError("impulse response defined for positive distance")
+    x, y = grid.coordinates()
+    r = np.sqrt(x ** 2 + y ** 2 + distance ** 2)
+    k = grid.wavenumber
+    return (
+        distance / (2.0 * np.pi) * np.exp(1j * k * r) / r ** 2 * (1.0 / r - 1j * k)
+    ).astype(np.complex128)
+
+
+class Propagator:
+    """Differentiable free-space propagation over a fixed distance.
+
+    Parameters
+    ----------
+    grid:
+        Sampling geometry of the (unpadded) field.
+    distance:
+        Propagation distance in meters (may be negative to back-propagate).
+    method:
+        ``"angular_spectrum"`` (default) or ``"fresnel"``.
+    pad_factor:
+        Integer >= 1.  The field is zero-padded to ``pad_factor * n`` per
+        side before the FFT to suppress wrap-around (circular convolution)
+        artifacts, then cropped back.  ``2`` is the standard choice.
+    band_limit:
+        Forwarded to :func:`angular_spectrum_tf`.
+    """
+
+    def __init__(
+        self,
+        grid: SimulationGrid,
+        distance: float,
+        method: str = "angular_spectrum",
+        pad_factor: int = 2,
+        band_limit: bool = True,
+    ) -> None:
+        if pad_factor < 1:
+            raise ValueError(f"pad_factor must be >= 1, got {pad_factor}")
+        self.grid = grid
+        self.distance = float(distance)
+        self.method = method
+        self.pad_factor = int(pad_factor)
+        # Symmetric padding: round the requested enlargement up so the
+        # padded side is n + 2*pad even when (pad_factor-1)*n is odd.
+        pad = ((self.pad_factor - 1) * grid.n + 1) // 2
+        padded_grid = SimulationGrid(
+            n=grid.n + 2 * pad,
+            pixel_pitch=grid.pixel_pitch,
+            wavelength=grid.wavelength,
+        )
+        if method == "angular_spectrum":
+            h = angular_spectrum_tf(padded_grid, self.distance, band_limit)
+        elif method == "fresnel":
+            h = fresnel_tf(padded_grid, self.distance)
+        else:
+            raise ValueError(
+                f"unknown propagation method {method!r}; expected "
+                "'angular_spectrum' or 'fresnel'"
+            )
+        #: Constant transfer function on the padded grid.
+        self.transfer_function = Tensor(h)
+        self._pad_pixels = pad
+
+    def __call__(self, field) -> Tensor:
+        """Propagate ``field`` (shape ``(..., n, n)``), differentiably."""
+        field = as_tensor(field)
+        if field.shape[-1] != self.grid.n or field.shape[-2] != self.grid.n:
+            raise ValueError(
+                f"field shape {field.shape} does not match grid n={self.grid.n}"
+            )
+        pad = self._pad_pixels
+        if pad:
+            field = ops.pad2d(field, pad)
+        spectrum = fft2(field, norm="ortho")
+        propagated = ifft2(spectrum * self.transfer_function, norm="ortho")
+        if pad:
+            n = self.grid.n
+            propagated = propagated[..., pad:pad + n, pad:pad + n]
+        return propagated
+
+    def propagate_array(self, field: np.ndarray) -> np.ndarray:
+        """Convenience numpy-in / numpy-out propagation (no gradients)."""
+        from ..autodiff import no_grad
+
+        with no_grad():
+            return np.asarray(self(Tensor(np.asarray(field))).data)

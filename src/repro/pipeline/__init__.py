@@ -1,0 +1,44 @@
+"""Experiment pipeline: the paper's recipes, tables and sweeps.
+
+* :class:`ExperimentConfig` — laptop- and paper-scale setups;
+* :func:`run_recipe` — one table row (baseline / Ours-A..D);
+* :func:`run_table` — a full Tables II-V reproduction;
+* :func:`run_sweep` — the Fig. 6 hyperparameter explorations;
+* :data:`PAPER_TABLES` — the published numbers for comparison.
+"""
+
+from .ablations import (
+    compare_twopi_solvers,
+    init_ablation,
+    neighborhood_ablation,
+)
+from .config import PAPER_BLOCK_SIZES, PAPER_EPOCHS, ExperimentConfig
+from .recipes import (
+    RECIPE_LABELS,
+    RECIPES,
+    RecipeResult,
+    prepare_data,
+    run_recipe,
+)
+from .runner import PAPER_TABLES, TableResult, run_sweep, run_table
+from .tables import format_comparison, format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_BLOCK_SIZES",
+    "PAPER_EPOCHS",
+    "RECIPES",
+    "RECIPE_LABELS",
+    "RecipeResult",
+    "prepare_data",
+    "run_recipe",
+    "PAPER_TABLES",
+    "TableResult",
+    "run_table",
+    "run_sweep",
+    "format_table",
+    "format_comparison",
+    "compare_twopi_solvers",
+    "init_ablation",
+    "neighborhood_ablation",
+]

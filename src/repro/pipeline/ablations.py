@@ -1,0 +1,98 @@
+"""Ablation studies of the design choices called out in DESIGN.md.
+
+These quantify the decisions the reproduction had to calibrate:
+
+* :func:`compare_twopi_solvers` — Gumbel-Softmax vs greedy coordinate
+  descent vs their combination on a given mask (solution quality of the
+  paper's CO solver against classical baselines);
+* :func:`init_ablation` — how the phase initialization regime changes the
+  trained mask's roughness and the 2-pi optimizer's leverage (DESIGN.md
+  §3a: high-biased init is what makes the 2-pi step pay off);
+* :func:`neighborhood_ablation` — 4- vs 8-neighbor roughness scoring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..optics.fabrication import wrap_phase
+from ..roughness import overall_roughness, roughness
+from ..twopi import TwoPiConfig, TwoPiOptimizer, greedy_offsets
+from .config import ExperimentConfig
+from .recipes import RecipeResult, run_recipe
+
+__all__ = ["compare_twopi_solvers", "init_ablation", "neighborhood_ablation"]
+
+
+def compare_twopi_solvers(
+    phase: np.ndarray,
+    block_size: Optional[int] = None,
+    iterations: int = 300,
+    seed: int = 0,
+    k: int = 8,
+) -> Dict[str, float]:
+    """Roughness achieved by each 2-pi solver on ``phase``.
+
+    Returns a dict with keys ``before``, ``greedy``, ``gumbel_softmax``
+    (no polishing) and ``gumbel_plus_greedy`` (the production setting).
+    """
+    wrapped = wrap_phase(np.asarray(phase, dtype=float))
+    before = roughness(wrapped, k=k)
+
+    _, greedy_score = greedy_offsets(wrapped, k=k, block_size=block_size)
+
+    gs_raw = TwoPiOptimizer(TwoPiConfig(
+        iterations=iterations, seed=seed, k=k, polish=False,
+    )).optimize_mask(wrapped)
+
+    gs_polished = TwoPiOptimizer(TwoPiConfig(
+        iterations=iterations, seed=seed, k=k, polish=True,
+        block_size=block_size,
+    )).optimize_mask(wrapped)
+
+    return {
+        "before": before,
+        "greedy": greedy_score,
+        "gumbel_softmax": gs_raw.roughness_after,
+        "gumbel_plus_greedy": gs_polished.roughness_after,
+    }
+
+
+def init_ablation(
+    config: ExperimentConfig,
+    inits: Sequence[str] = ("high", "small", "uniform"),
+    recipe: str = "ours_b",
+) -> List[Dict[str, float]]:
+    """Re-run ``recipe`` under different phase initialization regimes.
+
+    Shows why ``"high"`` is the default: with mid-range or uniform init
+    the trained surroundings of pruned blocks straddle pi and the 2-pi
+    step has (provably) nothing to fix.
+    """
+    from dataclasses import replace
+
+    rows: List[Dict[str, float]] = []
+    for init in inits:
+        varied = config.with_overrides(
+            system=replace(config.system, phase_init=init)
+        )
+        result: RecipeResult = run_recipe(recipe, varied)
+        rows.append({
+            "init": init,
+            "accuracy": result.accuracy,
+            "roughness_before": result.roughness_before,
+            "roughness_after": result.roughness_after,
+            "twopi_reduction": result.twopi_reduction,
+        })
+    return rows
+
+
+def neighborhood_ablation(phases: Sequence[np.ndarray]) -> Dict[str, float]:
+    """Overall roughness under the 4- and 8-neighbor definitions (Eq. 3
+    allows both)."""
+    return {
+        "k4": overall_roughness(phases, k=4),
+        "k8": overall_roughness(phases, k=8),
+    }

@@ -1,0 +1,123 @@
+"""Table runner: regenerate the paper's Tables II-V and Fig. 6 sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data import Dataset
+from .config import ExperimentConfig
+from .recipes import RECIPES, RecipeResult, prepare_data, run_recipe
+
+__all__ = ["PAPER_TABLES", "TableResult", "run_table", "run_sweep"]
+
+#: Published Tables II-V: recipe -> (accuracy %, R before 2pi, R after 2pi).
+#: ``None`` marks the Ours-A "after" cell the paper leaves blank.
+PAPER_TABLES: Dict[str, Dict[str, Tuple[float, float, Optional[float]]]] = {
+    "MNIST": {
+        "baseline": (96.67, 466.39, 460.85),
+        "ours_a": (96.18, 416.07, None),
+        "ours_b": (96.38, 538.78, 400.38),
+        "ours_c": (96.47, 409.41, 299.87),
+        "ours_d": (95.90, 375.35, 280.32),
+    },
+    "FMNIST": {
+        "baseline": (87.98, 464.78, 461.98),
+        "ours_a": (86.99, 421.49, None),
+        "ours_b": (87.88, 488.11, 438.53),
+        "ours_c": (86.79, 350.67, 305.86),
+        "ours_d": (85.76, 450.73, 229.70),
+    },
+    "KMNIST": {
+        "baseline": (86.92, 460.61, 445.57),
+        "ours_a": (85.26, 462.70, None),
+        "ours_b": (86.83, 473.08, 432.26),
+        "ours_c": (85.01, 396.84, 331.22),
+        "ours_d": (83.19, 327.48, 288.42),
+    },
+    "EMNIST": {
+        "baseline": (92.30, 463.42, 458.48),
+        "ours_a": (91.61, 435.58, None),
+        "ours_b": (92.36, 465.85, 443.91),
+        "ours_c": (91.16, 349.61, 336.75),
+        "ours_d": (90.74, 312.17, 298.09),
+    },
+}
+
+
+@dataclass
+class TableResult:
+    """All rows of one reproduced table."""
+
+    config: ExperimentConfig
+    results: List[RecipeResult]
+
+    @property
+    def paper_dataset(self) -> str:
+        return self.config.paper_dataset
+
+    def by_recipe(self) -> Dict[str, RecipeResult]:
+        return {result.recipe: result for result in self.results}
+
+    def paper_rows(self) -> Dict[str, Tuple[float, float, Optional[float]]]:
+        """The published values this table is compared against."""
+        return PAPER_TABLES[self.paper_dataset]
+
+
+def run_table(
+    config: ExperimentConfig,
+    recipes: Sequence[str] = RECIPES,
+    data: Optional[Tuple[Dataset, Dataset]] = None,
+    verbose: bool = False,
+) -> TableResult:
+    """Run every requested recipe on one dataset (one paper table)."""
+    if data is None:
+        data = prepare_data(config)
+    results = [
+        run_recipe(recipe, config, data=data, verbose=verbose)
+        for recipe in recipes
+    ]
+    return TableResult(config=config, results=results)
+
+
+def run_sweep(
+    config: ExperimentConfig,
+    parameter: str,
+    values: Sequence[float],
+    recipe: str = "ours_c",
+    data: Optional[Tuple[Dataset, Dataset]] = None,
+) -> List[RecipeResult]:
+    """Hyperparameter exploration (Fig. 6b-d): rerun ``recipe`` while
+    varying one knob.
+
+    ``parameter`` is one of ``"sparsity_ratio"``, ``"roughness_p"``,
+    ``"intra_q"``.
+    """
+    if data is None:
+        data = prepare_data(config)
+    results = []
+    for value in values:
+        if parameter == "sparsity_ratio":
+            varied = config.with_overrides(
+                slr=config.slr if value is None else
+                _replace_slr(config, sparsity_ratio=float(value))
+            )
+        elif parameter == "roughness_p":
+            varied = config.with_overrides(roughness_p=float(value))
+        elif parameter == "intra_q":
+            varied = config.with_overrides(intra_q=float(value))
+        else:
+            raise ValueError(
+                f"unknown sweep parameter {parameter!r}; expected "
+                "'sparsity_ratio', 'roughness_p' or 'intra_q'"
+            )
+        results.append(run_recipe(recipe, varied, data=data))
+    return results
+
+
+def _replace_slr(config: ExperimentConfig, **changes):
+    from dataclasses import replace
+
+    return replace(config.slr, **changes)

@@ -1,0 +1,67 @@
+"""Formatting: print reproduced tables in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .recipes import RECIPE_LABELS
+from .runner import TableResult
+
+__all__ = ["format_table", "format_comparison"]
+
+_TABLE_NUMBER = {"MNIST": "II", "FMNIST": "III", "KMNIST": "IV",
+                 "EMNIST": "V"}
+
+
+def _fmt(value: Optional[float], digits: int = 2) -> str:
+    return "-" if value is None else f"{value:.{digits}f}"
+
+
+def format_table(table: TableResult) -> str:
+    """Render a reproduced table with the paper's columns."""
+    name = table.paper_dataset
+    lines = [
+        f"TABLE {_TABLE_NUMBER[name]}: {name} result "
+        f"(family '{table.config.family}', {table.config.system.n}x"
+        f"{table.config.system.n} masks)",
+        f"{'Model':<14} {'Accuracy (%)':>12} {'R before 2pi':>14} "
+        f"{'R after 2pi':>13}",
+    ]
+    for result in table.results:
+        lines.append(
+            f"{result.label:<14} {result.accuracy * 100:>12.2f} "
+            f"{result.roughness_before:>14.2f} "
+            f"{result.roughness_after:>13.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(table: TableResult) -> str:
+    """Side-by-side measured vs published rows, plus shape checks."""
+    name = table.paper_dataset
+    paper = table.paper_rows()
+    lines = [
+        f"{name}: measured (this repro) vs published (paper)",
+        f"{'Model':<14} {'acc%':>7} {'R_pre':>9} {'R_post':>9} | "
+        f"{'acc%':>7} {'R_pre':>9} {'R_post':>9}",
+    ]
+    for result in table.results:
+        ref = paper.get(result.recipe)
+        ref_txt = (
+            f"{_fmt(ref[0]):>7} {_fmt(ref[1]):>9} {_fmt(ref[2]):>9}"
+            if ref else " " * 27
+        )
+        lines.append(
+            f"{result.label:<14} {result.accuracy * 100:>7.2f} "
+            f"{result.roughness_before:>9.2f} "
+            f"{result.roughness_after:>9.2f} | {ref_txt}"
+        )
+    by = table.by_recipe()
+    if {"baseline", "ours_c"} <= set(by):
+        base, ours_c = by["baseline"], by["ours_c"]
+        reduction = 1 - ours_c.roughness_after / base.roughness_before
+        lines.append(
+            f"headline: Ours-C post-2pi roughness is {reduction * 100:.1f}% "
+            f"below the baseline's pre-2pi roughness"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Roughness modeling: metrics, regularizers and reports (Sec. III-B/III-D1).
+
+* :func:`roughness` / :func:`roughness_tensor` — Eq. 3-4 mask roughness
+  (numpy report form and differentiable training form);
+* :func:`intra_block_smoothness` / :func:`intra_block_tensor` — Eq. 8
+  per-block variance;
+* :class:`RoughnessRegularizer` / :class:`IntraBlockRegularizer` — plug-in
+  penalties for the DONN trainer;
+* :func:`model_roughness` — the tables' ``R_overall`` score.
+"""
+
+from .intra_block import (
+    block_variances,
+    intra_block_smoothness,
+    intra_block_tensor,
+)
+from .metrics import (
+    neighbor_offsets,
+    overall_roughness,
+    roughness,
+    roughness_map,
+    roughness_tensor,
+)
+from .regularizers import IntraBlockRegularizer, RoughnessRegularizer
+from .report import RoughnessReport, model_roughness
+
+__all__ = [
+    "neighbor_offsets",
+    "roughness",
+    "roughness_map",
+    "roughness_tensor",
+    "overall_roughness",
+    "block_variances",
+    "intra_block_smoothness",
+    "intra_block_tensor",
+    "RoughnessRegularizer",
+    "IntraBlockRegularizer",
+    "RoughnessReport",
+    "model_roughness",
+]

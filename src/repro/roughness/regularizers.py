@@ -1,0 +1,68 @@
+"""Training-loss regularizers plugging roughness into the DONN trainer.
+
+Eq. 5:  L = ||softmax(I) - t||^2 + p * R(W)
+Eq. 8:  L = ||softmax(I) - t||^2 + p * R(W) + q * R_intra(W)
+
+Both callables operate on the *effective* (sparsity-masked) trainable
+phases of every diffractive layer and sum the per-layer penalties, so they
+compose with block sparsification exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from ..autodiff import Tensor
+from .intra_block import intra_block_tensor
+from .metrics import roughness_tensor
+
+__all__ = ["RoughnessRegularizer", "IntraBlockRegularizer"]
+
+
+class RoughnessRegularizer:
+    """``p * sum_layers R(W_l)`` — the Eq. 5 roughness term.
+
+    Parameters
+    ----------
+    p:
+        Regularization factor (the paper's sweep finds an inflection
+        around p = 0.1 normalized to its loss scale; see Fig. 6c).
+    k:
+        Neighborhood size, 4 or 8.
+    """
+
+    def __init__(self, p: float, k: int = 8) -> None:
+        if p < 0:
+            raise ValueError(f"regularization factor must be >= 0, got {p}")
+        self.p = float(p)
+        self.k = int(k)
+
+    def __call__(self, model) -> Tensor:
+        total = None
+        for layer in model.layers:
+            term = roughness_tensor(layer.effective_phase(), k=self.k)
+            total = term if total is None else total + term
+        return total * self.p
+
+    def __repr__(self) -> str:
+        return f"RoughnessRegularizer(p={self.p}, k={self.k})"
+
+
+class IntraBlockRegularizer:
+    """``q * sum_layers R_intra(W_l)`` — the Eq. 8 intra-block term."""
+
+    def __init__(self, q: float, block_size: int) -> None:
+        if q < 0:
+            raise ValueError(f"regularization factor must be >= 0, got {q}")
+        self.q = float(q)
+        self.block_size = int(block_size)
+
+    def __call__(self, model) -> Tensor:
+        total = None
+        for layer in model.layers:
+            term = intra_block_tensor(layer.effective_phase(),
+                                      self.block_size)
+            total = term if total is None else total + term
+        return total * self.q
+
+    def __repr__(self) -> str:
+        return (f"IntraBlockRegularizer(q={self.q}, "
+                f"block_size={self.block_size})")

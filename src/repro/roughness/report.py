@@ -1,0 +1,67 @@
+"""Roughness reporting: the numbers the paper's tables print.
+
+``R_overall`` (Sec. IV-B) is the average mask roughness over all
+diffractive layers, computed on the *wrapped* phases a fabricated mask
+realizes, optionally with the 2-pi add-on offsets of the post-processing
+step applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..optics.fabrication import wrap_phase
+from .metrics import overall_roughness, roughness
+
+__all__ = ["RoughnessReport", "model_roughness"]
+
+
+@dataclass(frozen=True)
+class RoughnessReport:
+    """Per-layer and overall roughness of a DONN's phase masks."""
+
+    per_layer: tuple
+    overall: float
+    k: int
+
+    def __str__(self) -> str:
+        layers = ", ".join(f"{value:.2f}" for value in self.per_layer)
+        return (f"R_overall={self.overall:.2f} (k={self.k}; "
+                f"layers: {layers})")
+
+
+def model_roughness(
+    model,
+    k: int = 8,
+    offsets: Optional[Sequence[np.ndarray]] = None,
+) -> RoughnessReport:
+    """Roughness report for a DONN.
+
+    Parameters
+    ----------
+    model:
+        A :class:`repro.donn.DONN` (anything exposing ``phases()``).
+    k:
+        Neighborhood size.
+    offsets:
+        Optional per-layer 2-pi add-on masks (values in {0, 2 pi}) from
+        the :mod:`repro.twopi` optimizer; applied on top of the wrapped
+        phases to score the *smoothed fabrication*.
+    """
+    phases = model.phases(wrapped=True)
+    if offsets is not None:
+        if len(offsets) != len(phases):
+            raise ValueError(
+                f"got {len(offsets)} offset masks for {len(phases)} layers"
+            )
+        phases = [wrap_phase(p) + np.asarray(o)
+                  for p, o in zip(phases, offsets)]
+    per_layer = tuple(roughness(p, k=k) for p in phases)
+    return RoughnessReport(
+        per_layer=per_layer,
+        overall=overall_roughness(phases, k=k),
+        k=k,
+    )

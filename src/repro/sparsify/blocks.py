@@ -1,0 +1,42 @@
+"""Block partitioning utilities shared by the sparsification methods."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["check_blocking", "block_l2_norms", "expand_block_mask"]
+
+
+def check_blocking(shape: Tuple[int, int], block_size: int) -> Tuple[int, int]:
+    """Validate divisibility; return the ``(rows, cols)`` block grid shape."""
+    if block_size < 1:
+        raise ValueError(f"block size must be >= 1, got {block_size}")
+    rows, cols = shape
+    if rows % block_size or cols % block_size:
+        raise ValueError(
+            f"matrix shape {shape} is not divisible into "
+            f"{block_size} x {block_size} blocks"
+        )
+    return rows // block_size, cols // block_size
+
+
+def block_l2_norms(matrix: np.ndarray, block_size: int) -> np.ndarray:
+    """Frobenius norm of every ``block_size``-square block.
+
+    Returns a ``(rows/b, cols/b)`` grid; this is the saliency score block
+    sparsification ranks blocks by (Sec. III-C1).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    br, bc = check_blocking(matrix.shape, block_size)
+    blocks = matrix.reshape(br, block_size, bc, block_size)
+    return np.sqrt((blocks ** 2).sum(axis=(1, 3)))
+
+
+def expand_block_mask(block_mask: np.ndarray, block_size: int) -> np.ndarray:
+    """Expand a ``(rows/b, cols/b)`` 0/1 block grid to pixel resolution."""
+    block_mask = np.asarray(block_mask, dtype=np.float64)
+    return np.kron(block_mask, np.ones((block_size, block_size)))

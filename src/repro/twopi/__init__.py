@@ -1,0 +1,21 @@
+"""2-pi periodic phase optimization (Sec. III-D2).
+
+* :func:`gumbel_softmax` — the differentiable discrete-selection estimator;
+* :class:`TwoPiOptimizer` — Gumbel-Softmax smoothing of trained masks;
+* :func:`greedy_offsets` / :func:`brute_force_offsets` — classical
+  baselines and exact ground truth for validation.
+"""
+
+from .exhaustive import brute_force_offsets, greedy_offsets, roughness_batch
+from .gumbel import gumbel_softmax
+from .optimizer import TwoPiConfig, TwoPiOptimizer, TwoPiSolution
+
+__all__ = [
+    "gumbel_softmax",
+    "brute_force_offsets",
+    "greedy_offsets",
+    "roughness_batch",
+    "TwoPiConfig",
+    "TwoPiOptimizer",
+    "TwoPiSolution",
+]

@@ -1,0 +1,158 @@
+"""Reference solvers for the 2-pi selection problem.
+
+These provide ground truth and a strong classical baseline against which
+the Gumbel-Softmax optimizer is validated:
+
+* :func:`brute_force_offsets` — exact minimum by enumerating all 2^m
+  selections (tiny masks only);
+* :func:`greedy_offsets` — coordinate descent flipping one pixel at a
+  time while it improves; never worse than its starting point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..optics.constants import TWO_PI
+from ..roughness.metrics import neighbor_offsets, roughness
+
+__all__ = ["roughness_batch", "brute_force_offsets", "greedy_offsets"]
+
+
+def roughness_batch(masks: np.ndarray, k: int = 8) -> np.ndarray:
+    """Vectorized Eq. 4 roughness of a ``(batch, n, m)`` stack of masks."""
+    masks = np.asarray(masks, dtype=np.float64)
+    if masks.ndim != 3:
+        raise ValueError(f"expected (batch, n, m) stack, got {masks.shape}")
+    _, n, m = masks.shape
+    padded = np.pad(masks, ((0, 0), (1, 1), (1, 1)))
+    total = np.zeros_like(masks)
+    for dy, dx in neighbor_offsets(k):
+        shifted = padded[:, 1 + dy:1 + dy + n, 1 + dx:1 + dx + m]
+        diff = shifted - masks
+        total += diff * diff
+    per_pixel = np.sqrt(total) / k
+    return per_pixel.sum(axis=(1, 2)) / 2.0
+
+
+def brute_force_offsets(
+    phase: np.ndarray, k: int = 8, limit: int = 16
+) -> Tuple[np.ndarray, float]:
+    """Exact optimal {0, 2 pi} add-on mask by full enumeration.
+
+    Only feasible for masks with at most ``limit`` pixels (2^m candidates
+    are evaluated, vectorized).  Returns ``(offsets, best_roughness)``.
+    """
+    phase = np.asarray(phase, dtype=np.float64)
+    pixels = phase.size
+    if pixels > limit:
+        raise ValueError(
+            f"brute force limited to {limit} pixels, got {pixels}"
+        )
+    count = 1 << pixels
+    bits = (np.arange(count)[:, None] >> np.arange(pixels)[None, :]) & 1
+    candidates = phase.ravel()[None, :] + TWO_PI * bits
+    scores = roughness_batch(candidates.reshape(count, *phase.shape), k=k)
+    best = int(np.argmin(scores))
+    offsets = (TWO_PI * bits[best]).reshape(phase.shape)
+    return offsets, float(scores[best])
+
+
+def _local_roughness(padded: np.ndarray, row: int, col: int, k: int) -> float:
+    """Per-pixel roughness R(p) read off a 1-padded total-phase array."""
+    center = padded[row + 1, col + 1]
+    total = 0.0
+    for dy, dx in neighbor_offsets(k):
+        diff = padded[row + 1 + dy, col + 1 + dx] - center
+        total += diff * diff
+    return np.sqrt(total) / k
+
+
+def _neighborhood_score(padded: np.ndarray, row: int, col: int, k: int,
+                        shape: Tuple[int, int]) -> float:
+    """Sum of R(q) over the pixel and its in-bounds neighbors."""
+    score = _local_roughness(padded, row, col, k)
+    for dy, dx in neighbor_offsets(k):
+        r, c = row + dy, col + dx
+        if 0 <= r < shape[0] and 0 <= c < shape[1]:
+            score += _local_roughness(padded, r, c, k)
+    return score
+
+
+def greedy_offsets(
+    phase: np.ndarray,
+    k: int = 8,
+    max_sweeps: int = 20,
+    init: Optional[np.ndarray] = None,
+    block_size: Optional[int] = None,
+) -> Tuple[np.ndarray, float]:
+    """Coordinate-descent 2-pi assignment.
+
+    Sweeps the mask repeatedly, flipping a pixel's add-on between 0 and
+    2 pi whenever the flip strictly reduces total roughness (evaluated
+    locally — a flip only changes R at the pixel and its neighbors).
+    Terminates at a local optimum or after ``max_sweeps``.
+
+    ``block_size`` additionally enables whole-block flip moves on the
+    given grid.  Single-pixel moves cannot lift a zeroed sparsity block
+    out of its local minimum (flipping one interior pixel creates eight
+    2-pi steps against its still-zero neighbors), so block moves are
+    essential after block sparsification.
+
+    Returns ``(offsets, final_roughness)``; never worse than the start.
+    """
+    phase = np.asarray(phase, dtype=np.float64)
+    if phase.ndim != 2:
+        raise ValueError(f"phase mask must be 2-D, got shape {phase.shape}")
+    offsets = np.zeros_like(phase) if init is None else np.array(
+        init, dtype=np.float64, copy=True)
+    if offsets.shape != phase.shape:
+        raise ValueError("init offsets shape mismatch")
+    if block_size is not None and (
+        block_size < 1 or phase.shape[0] % block_size
+        or phase.shape[1] % block_size
+    ):
+        raise ValueError(
+            f"block size {block_size} does not tile mask shape {phase.shape}"
+        )
+    shape = phase.shape
+    padded = np.pad(phase + offsets, 1)
+
+    def block_pass() -> bool:
+        improved = False
+        current_total = roughness(padded[1:-1, 1:-1], k=k)
+        for top in range(0, shape[0], block_size):
+            for left in range(0, shape[1], block_size):
+                window = (slice(top, top + block_size),
+                          slice(left, left + block_size))
+                trial = offsets.copy()
+                trial[window] = np.where(trial[window] > 0, 0.0, TWO_PI)
+                candidate = roughness(phase + trial, k=k)
+                if candidate + 1e-12 < current_total:
+                    offsets[window] = trial[window]
+                    padded[1:-1, 1:-1] = phase + offsets
+                    current_total = candidate
+                    improved = True
+        return improved
+
+    for _ in range(max_sweeps):
+        improved = False
+        if block_size is not None:
+            improved |= block_pass()
+        for row in range(shape[0]):
+            for col in range(shape[1]):
+                before = _neighborhood_score(padded, row, col, k, shape)
+                current = offsets[row, col]
+                flipped = 0.0 if current else TWO_PI
+                padded[row + 1, col + 1] += flipped - current
+                after = _neighborhood_score(padded, row, col, k, shape)
+                if after + 1e-12 < before:
+                    offsets[row, col] = flipped
+                    improved = True
+                else:
+                    padded[row + 1, col + 1] += current - flipped
+        if not improved:
+            break
+    return offsets, roughness(phase + offsets, k=k)

@@ -1,0 +1,13 @@
+"""Small shared utilities: ASCII mask art, Pareto frontiers, checkpoints."""
+
+from .ascii_art import render_mask, render_side_by_side
+from .pareto import pareto_frontier
+from .serialization import load_phases, save_phases
+
+__all__ = [
+    "render_mask",
+    "render_side_by_side",
+    "pareto_frontier",
+    "save_phases",
+    "load_phases",
+]

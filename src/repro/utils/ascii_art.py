@@ -1,0 +1,68 @@
+"""ASCII rendering of phase masks (the repo's stand-in for Fig. 5 images).
+
+No plotting stack is available offline, so mask comparisons (baseline vs
+sparsified vs smoothed) are rendered as character art: each pixel maps to a
+density character by its phase value.  Good enough to *see* the sparsified
+black blocks disappear after 2-pi smoothing, which is what Fig. 5 shows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["render_mask", "render_side_by_side"]
+
+_CHARS = " .:-=+*#%@"
+
+
+def render_mask(
+    mask: np.ndarray,
+    vmax: Optional[float] = None,
+    downsample: int = 1,
+) -> str:
+    """Render a 2-D array as character art (dark = low, dense = high).
+
+    Parameters
+    ----------
+    mask:
+        The phase mask (radians, any range).
+    vmax:
+        Normalization ceiling; defaults to the mask maximum (zero-safe).
+    downsample:
+        Integer block-averaging factor to fit wide masks into a terminal.
+    """
+    mask = np.asarray(mask, dtype=float)
+    if mask.ndim != 2:
+        raise ValueError(f"mask must be 2-D, got shape {mask.shape}")
+    if downsample > 1:
+        h = mask.shape[0] // downsample * downsample
+        w = mask.shape[1] // downsample * downsample
+        trimmed = mask[:h, :w]
+        mask = trimmed.reshape(
+            h // downsample, downsample, w // downsample, downsample
+        ).mean(axis=(1, 3))
+    ceiling = float(vmax) if vmax is not None else float(mask.max())
+    if ceiling <= 0:
+        ceiling = 1.0
+    normalized = np.clip(mask / ceiling, 0.0, 1.0)
+    indices = (normalized * (len(_CHARS) - 1)).round().astype(int)
+    return "\n".join("".join(_CHARS[i] for i in row) for row in indices)
+
+
+def render_side_by_side(masks, labels, vmax: Optional[float] = None,
+                        downsample: int = 1, gap: str = "   ") -> str:
+    """Render several masks in columns with centered labels above."""
+    if len(masks) != len(labels):
+        raise ValueError(f"{len(masks)} masks vs {len(labels)} labels")
+    rendered = [render_mask(m, vmax=vmax, downsample=downsample).split("\n")
+                for m in masks]
+    heights = {len(r) for r in rendered}
+    if len(heights) != 1:
+        raise ValueError("masks must render to the same height")
+    widths = [len(r[0]) for r in rendered]
+    header = gap.join(label.center(width)[:width]
+                      for label, width in zip(labels, widths))
+    body = "\n".join(gap.join(parts) for parts in zip(*rendered))
+    return header + "\n" + body

@@ -1,0 +1,45 @@
+"""Pareto-frontier extraction for the accuracy/roughness trade-off (Fig. 6a)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["pareto_frontier"]
+
+
+def pareto_frontier(
+    points: Sequence[Tuple[float, float]],
+    maximize_first: bool = True,
+    minimize_second: bool = True,
+) -> List[int]:
+    """Indices of the Pareto-optimal points, sorted by the first objective.
+
+    The default orientation matches Fig. 6a: maximize accuracy (first
+    coordinate) while minimizing roughness (second coordinate).  A point is
+    kept when no other point is at least as good in both objectives and
+    strictly better in one.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) points, got shape {pts.shape}")
+    first = pts[:, 0] if maximize_first else -pts[:, 0]
+    second = -pts[:, 1] if minimize_second else pts[:, 1]
+    keep: List[int] = []
+    for i in range(len(pts)):
+        dominated = False
+        for j in range(len(pts)):
+            if i == j:
+                continue
+            if (
+                first[j] >= first[i]
+                and second[j] >= second[i]
+                and (first[j] > first[i] or second[j] > second[i])
+            ):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    keep.sort(key=lambda idx: pts[idx, 0])
+    return keep

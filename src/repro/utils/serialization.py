@@ -1,0 +1,52 @@
+"""Checkpointing: save and restore trained DONN masks as ``.npz`` files."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["save_phases", "load_phases"]
+
+
+def save_phases(
+    path: Union[str, Path],
+    phases: Sequence[np.ndarray],
+    masks: Optional[Sequence[Optional[np.ndarray]]] = None,
+) -> None:
+    """Save per-layer phases (and optional sparsity masks) to ``path``.
+
+    Stored keys: ``phase_0 .. phase_{L-1}`` and, where present,
+    ``mask_0 .. mask_{L-1}``.
+    """
+    payload = {f"phase_{i}": np.asarray(p) for i, p in enumerate(phases)}
+    if masks is not None:
+        if len(masks) != len(list(phases)):
+            raise ValueError(
+                f"{len(masks)} masks for {len(list(phases))} phase layers"
+            )
+        for i, mask in enumerate(masks):
+            if mask is not None:
+                payload[f"mask_{i}"] = np.asarray(mask)
+    np.savez(Path(path), **payload)
+
+
+def load_phases(path: Union[str, Path]):
+    """Load ``(phases, masks)`` saved by :func:`save_phases`.
+
+    ``masks`` entries are ``None`` for layers stored without one.
+    """
+    with np.load(Path(path)) as data:
+        indices = sorted(
+            int(key.split("_")[1]) for key in data.files
+            if key.startswith("phase_")
+        )
+        if indices != list(range(len(indices))):
+            raise ValueError(f"corrupt checkpoint: phase keys {indices}")
+        phases: List[np.ndarray] = [data[f"phase_{i}"] for i in indices]
+        masks = [
+            data[f"mask_{i}"] if f"mask_{i}" in data.files else None
+            for i in indices
+        ]
+    return phases, masks

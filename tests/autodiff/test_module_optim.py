@@ -1,0 +1,207 @@
+"""Tests for the module system and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Adam,
+    ExponentialLR,
+    Module,
+    Parameter,
+    SGD,
+    StepLR,
+    Tensor,
+    ops,
+)
+
+
+class Affine(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+        self.bias = Parameter(np.zeros(2))
+
+    def forward(self, x):
+        return x @ self.weight + self.bias
+
+
+class Stacked(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Affine()
+        self.second = Affine()
+
+    def forward(self, x):
+        return self.second(self.first(x))
+
+
+class TestModule:
+    def test_parameter_registration(self):
+        m = Affine()
+        names = dict(m.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_registration(self):
+        m = Stacked()
+        names = {name for name, _ in m.named_parameters()}
+        assert names == {"first.weight", "first.bias",
+                         "second.weight", "second.bias"}
+
+    def test_zero_grad(self):
+        m = Affine()
+        out = ops.sum(m(Tensor(np.ones((3, 2)))))
+        out.backward()
+        assert m.weight.grad is not None
+        m.zero_grad()
+        assert m.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        m1, m2 = Stacked(), Stacked()
+        for param in m1.parameters():
+            param.data = param.data + 1.0
+        m2.load_state_dict(m1.state_dict())
+        for (_, p1), (_, p2) in zip(m1.named_parameters(),
+                                    m2.named_parameters()):
+            assert np.array_equal(p1.data, p2.data)
+
+    def test_load_missing_key_raises(self):
+        m = Affine()
+        state = m.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(state)
+
+    def test_load_bad_shape_raises(self):
+        m = Affine()
+        state = m.state_dict()
+        state["bias"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            m.load_state_dict(state)
+
+    def test_train_eval_mode(self):
+        m = Stacked()
+        m.eval()
+        assert not m.training
+        assert not m.first.training
+        m.train()
+        assert m.second.training
+
+    def test_forward_required(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestSGD:
+    def test_quadratic_convergence(self):
+        x = Parameter(np.array([5.0, -3.0]))
+        opt = SGD([x], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = ops.sum(x * x)
+            loss.backward()
+            opt.step()
+        assert np.allclose(x.data, 0.0, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            x = Parameter(np.array([5.0]))
+            opt = SGD([x], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                ops.sum(x * x).backward()
+                opt.step()
+            return abs(x.data[0])
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        x = Parameter(np.array([1.0]))
+        opt = SGD([x], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        # Zero data gradient; only decay acts.
+        (x * 0.0).sum().backward()
+        opt.step()
+        assert x.data[0] == pytest.approx(0.9)
+
+    def test_requires_grad_enforced(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor(np.ones(2))], lr=0.1)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_quadratic_convergence(self):
+        x = Parameter(np.array([5.0, -3.0, 2.0]))
+        opt = Adam([x], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            ops.sum(x * x).backward()
+            opt.step()
+        assert np.allclose(x.data, 0.0, atol=1e-4)
+
+    def test_rosenbrock_progress(self):
+        # Adam should make strong progress on the banana function.
+        xy = Parameter(np.array([-1.0, 1.5]))
+
+        def loss_fn():
+            x, y = xy[0], xy[1]
+            return (1.0 - x) ** 2 + 100.0 * (y - x * x) ** 2
+
+        opt = Adam([xy], lr=0.05)
+        start = loss_fn().item()
+        for _ in range(1000):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        # The banana valley is slow going; two orders of magnitude in 1000
+        # steps demonstrates healthy optimization.
+        assert loss_fn().item() < start * 1e-2
+
+    def test_complex_parameter_support(self):
+        # Minimize |z - (1+2j)|^2 over a complex parameter.
+        z = Parameter(np.zeros(1, dtype=complex))
+        target = 1.0 + 2.0j
+        opt = Adam([z], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            ops.sum(ops.abs2(z - Tensor(np.array([target])))).backward()
+            opt.step()
+        assert z.data[0] == pytest.approx(target, abs=1e-3)
+
+    def test_skips_params_without_grad(self):
+        x = Parameter(np.array([1.0]))
+        y = Parameter(np.array([1.0]))
+        opt = Adam([x, y], lr=0.1)
+        opt.zero_grad()
+        ops.sum(x * x).backward()
+        opt.step()
+        assert y.data[0] == pytest.approx(1.0)
+        assert x.data[0] != 1.0
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        x = Parameter(np.ones(1))
+        opt = SGD([x], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential_lr(self):
+        x = Parameter(np.ones(1))
+        opt = SGD([x], lr=2.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.5)

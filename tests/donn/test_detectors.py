@@ -1,0 +1,120 @@
+"""Tests of the detector layout and readout."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gradcheck, ops
+from repro.donn import DetectorLayout, DetectorPlane
+
+
+class TestDetectorLayout:
+    def test_paper_layout_fits(self):
+        layout = DetectorLayout.evenly_spaced(n=200, region_size=20)
+        assert layout.num_classes == 10
+        assert all(size == 20 for _, _, size in layout.regions)
+
+    def test_laptop_layout_fits(self):
+        layout = DetectorLayout.evenly_spaced(n=32)
+        assert layout.num_classes == 10
+        for top, left, size in layout.regions:
+            assert 0 <= top and top + size <= 32
+            assert 0 <= left and left + size <= 32
+
+    def test_no_overlap_validated(self):
+        with pytest.raises(ValueError):
+            DetectorLayout(n=10, regions=((0, 0, 5), (2, 2, 5)))
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            DetectorLayout(n=10, regions=((8, 8, 5),))
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            DetectorLayout(n=10, regions=((0, 0, 0),))
+
+    def test_row_pattern_must_match_classes(self):
+        with pytest.raises(ValueError):
+            DetectorLayout.evenly_spaced(n=64, num_classes=10,
+                                         row_pattern=(4, 4))
+
+    def test_mask_stack_is_disjoint(self):
+        layout = DetectorLayout.evenly_spaced(n=40)
+        masks = layout.mask_stack()
+        assert masks.shape == (10, 40, 40)
+        assert masks.sum(axis=0).max() == 1
+
+    def test_coverage_map_labels(self):
+        layout = DetectorLayout.evenly_spaced(n=40)
+        cover = layout.coverage_map()
+        present = set(cover[cover >= 0].tolist())
+        assert present == set(range(10))
+
+    def test_default_region_size_scales(self):
+        layout = DetectorLayout.evenly_spaced(n=200)
+        assert layout.regions[0][2] == 20
+        layout_small = DetectorLayout.evenly_spaced(n=40)
+        assert layout_small.regions[0][2] == 4
+
+
+class TestDetectorPlane:
+    def test_readout_sums_regions(self):
+        layout = DetectorLayout.evenly_spaced(n=20, region_size=2)
+        plane = DetectorPlane(layout, normalize=False)
+        intensity = np.zeros((20, 20))
+        top, left, size = layout.regions[3]
+        intensity[top:top + size, left:left + size] = 2.0
+        logits = plane.readout(Tensor(intensity)).data
+        assert logits.shape == (10,)
+        assert logits[3] == pytest.approx(2.0 * size * size)
+        assert np.sum(logits) == pytest.approx(logits[3])
+
+    def test_normalized_readout_sums_to_gain(self):
+        layout = DetectorLayout.evenly_spaced(n=20, region_size=2)
+        plane = DetectorPlane(layout, normalize=True, gain=10.0)
+        rng = np.random.default_rng(0)
+        intensity = rng.random((4, 20, 20))
+        logits = plane.readout(Tensor(intensity)).data
+        assert logits.shape == (4, 10)
+        assert np.allclose(logits.sum(axis=1), 10.0)
+
+    def test_batched_matches_single(self):
+        layout = DetectorLayout.evenly_spaced(n=20, region_size=2)
+        plane = DetectorPlane(layout, normalize=False)
+        rng = np.random.default_rng(1)
+        stack = rng.random((3, 20, 20))
+        batched = plane.readout(Tensor(stack)).data
+        singles = np.stack([plane.readout(Tensor(s)).data for s in stack])
+        assert np.allclose(batched, singles)
+
+    def test_predict_argmax(self):
+        layout = DetectorLayout.evenly_spaced(n=20, region_size=2)
+        plane = DetectorPlane(layout)
+        intensity = np.zeros((20, 20))
+        top, left, size = layout.regions[7]
+        intensity[top:top + size, left:left + size] = 1.0
+        assert plane.predict(Tensor(intensity))[0] == 7
+
+    def test_gradcheck_through_readout(self):
+        layout = DetectorLayout.evenly_spaced(n=10, region_size=1)
+        plane = DetectorPlane(layout, normalize=True, gain=5.0)
+        rng = np.random.default_rng(2)
+        intensity = Tensor(rng.random((2, 10, 10)) + 0.1, requires_grad=True)
+        gradcheck(lambda: ops.sum(plane.readout(intensity) ** 2), [intensity],
+                  rtol=1e-3)
+
+    def test_shape_mismatch_rejected(self):
+        plane = DetectorPlane(DetectorLayout.evenly_spaced(n=20))
+        with pytest.raises(ValueError):
+            plane.readout(Tensor(np.zeros((10, 10))))
+
+    def test_bad_gain_rejected(self):
+        with pytest.raises(ValueError):
+            DetectorPlane(DetectorLayout.evenly_spaced(n=20), gain=0.0)
+
+    def test_captured_fraction(self):
+        layout = DetectorLayout.evenly_spaced(n=20, region_size=2)
+        plane = DetectorPlane(layout)
+        uniform = np.ones((20, 20))
+        expected = 10 * 4 / 400
+        assert plane.captured_fraction(uniform) == pytest.approx(expected)
+        assert plane.captured_fraction(np.zeros((20, 20))) == 0.0

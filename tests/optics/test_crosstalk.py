@@ -1,0 +1,106 @@
+"""Tests of the interpixel-crosstalk deployment simulator."""
+
+import numpy as np
+import pytest
+
+from repro.optics import CrosstalkModel
+from repro.optics.constants import TWO_PI
+
+
+def rough_phase(n=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0, TWO_PI, (n, n))
+
+
+def smooth_phase(n=16):
+    x = np.linspace(0, 1, n)
+    xx, yy = np.meshgrid(x, x)
+    return 0.5 * np.sin(2 * np.pi * xx) * np.cos(2 * np.pi * yy) + 1.0
+
+
+class TestCouplingBasics:
+    def test_zero_strength_is_identity(self):
+        model = CrosstalkModel(strength=0.0)
+        phase = rough_phase()
+        assert np.allclose(model.degrade_phase(phase), phase)
+        assert model.phase_error(phase) == pytest.approx(0.0)
+
+    def test_constant_mask_unchanged(self):
+        model = CrosstalkModel(strength=0.3)
+        phase = np.full((8, 8), 1.7)
+        assert np.allclose(model.degrade_phase(phase), phase)
+
+    def test_mean_thickness_preserved(self):
+        # The coupling kernel is normalized: material is redistributed,
+        # not created (up to edge replication effects on smooth interiors).
+        model = CrosstalkModel(strength=0.25)
+        t = np.pad(np.random.default_rng(1).uniform(0, 1, (6, 6)), 2)
+        coupled = model.couple_thickness(t)
+        assert coupled.sum() == pytest.approx(t.sum(), rel=1e-9)
+
+    def test_invalid_strength_rejected(self):
+        with pytest.raises(ValueError):
+            CrosstalkModel(strength=1.0)
+        with pytest.raises(ValueError):
+            CrosstalkModel(strength=-0.1)
+        with pytest.raises(ValueError):
+            CrosstalkModel(scatter_coefficient=-1.0)
+
+
+class TestRoughnessSensitivity:
+    def test_smooth_mask_suffers_less_than_rough_mask(self):
+        # The core physical claim of the paper's proxy: phase error under
+        # crosstalk grows with mask roughness.
+        model = CrosstalkModel(strength=0.2)
+        assert model.phase_error(smooth_phase()) < model.phase_error(
+            rough_phase()) / 5
+
+    def test_error_monotone_in_strength(self):
+        phase = rough_phase(seed=2)
+        errors = [CrosstalkModel(strength=s).phase_error(phase)
+                  for s in (0.05, 0.1, 0.2, 0.4)]
+        assert all(a < b for a, b in zip(errors, errors[1:]))
+
+    def test_checkerboard_worst_case(self):
+        # A checkerboard of 0 / 2pi is maximally rough; a plane of the same
+        # values arranged smoothly (two half-planes) must degrade far less.
+        n = 16
+        checker = TWO_PI * ((np.indices((n, n)).sum(axis=0)) % 2)
+        halves = np.zeros((n, n))
+        halves[:, n // 2:] = TWO_PI
+        model = CrosstalkModel(strength=0.2)
+        assert model.phase_error(halves) < model.phase_error(checker) / 3
+
+    def test_degrade_phases_list(self):
+        model = CrosstalkModel(strength=0.1)
+        phases = [rough_phase(seed=s) for s in range(3)]
+        out = model.degrade_phases(phases)
+        assert len(out) == 3
+        assert all(o.shape == p.shape for o, p in zip(out, phases))
+
+
+class TestScatteringLoss:
+    def test_disabled_by_default(self):
+        model = CrosstalkModel(strength=0.1)
+        amp = model.transmission_amplitude(rough_phase())
+        assert np.allclose(amp, 1.0)
+
+    def test_amplitude_below_one_at_steps(self):
+        model = CrosstalkModel(strength=0.1, scatter_coefficient=0.05)
+        amp = model.transmission_amplitude(rough_phase())
+        assert np.all(amp <= 1.0)
+        assert amp.min() < 1.0
+
+    def test_flat_mask_no_scatter_loss(self):
+        model = CrosstalkModel(strength=0.1, scatter_coefficient=0.5)
+        amp = model.transmission_amplitude(np.full((8, 8), 2.0))
+        assert np.allclose(amp, 1.0)
+
+    def test_degrade_modulation_combines_amplitude_and_phase(self):
+        model = CrosstalkModel(strength=0.15, scatter_coefficient=0.02)
+        phase = rough_phase(seed=3)
+        modulation = model.degrade_modulation(phase)
+        assert np.allclose(np.abs(modulation),
+                           model.transmission_amplitude(phase))
+        assert np.allclose(np.angle(modulation),
+                           np.angle(np.exp(1j * model.degrade_phase(phase))))

@@ -1,0 +1,112 @@
+"""Tests of the simulation grid geometry."""
+
+import numpy as np
+import pytest
+
+from repro.optics import SimulationGrid, constants
+
+
+class TestConstruction:
+    def test_paper_grid_matches_published_parameters(self):
+        grid = SimulationGrid.paper()
+        assert grid.n == 200
+        assert grid.pixel_pitch == pytest.approx(36e-6)
+        assert grid.wavelength == pytest.approx(532e-9)
+        assert grid.side_length == pytest.approx(7.2e-3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n=1, pixel_pitch=1e-6, wavelength=1e-6),
+            dict(n=8, pixel_pitch=0.0, wavelength=1e-6),
+            dict(n=8, pixel_pitch=1e-6, wavelength=-1e-6),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SimulationGrid(**kwargs)
+
+    def test_wavenumber(self):
+        grid = SimulationGrid(n=4, pixel_pitch=1e-6, wavelength=500e-9)
+        assert grid.wavenumber == pytest.approx(2 * np.pi / 500e-9)
+
+    def test_nyquist(self):
+        grid = SimulationGrid(n=4, pixel_pitch=2e-6, wavelength=500e-9)
+        assert grid.nyquist_frequency == pytest.approx(1 / (4e-6))
+
+
+class TestAxes:
+    def test_coordinates_centered(self):
+        grid = SimulationGrid(n=5, pixel_pitch=1e-3, wavelength=1e-6)
+        x, y = grid.coordinates()
+        assert x.shape == (5, 5)
+        assert x[0, 0] == pytest.approx(-2e-3)
+        assert x[0, -1] == pytest.approx(2e-3)
+        assert np.allclose(x.mean(), 0.0)
+        assert np.allclose(y, x.T)
+
+    def test_coordinates_even_grid_half_pixel_offset(self):
+        grid = SimulationGrid(n=4, pixel_pitch=1.0, wavelength=1e-6)
+        x, _ = grid.coordinates()
+        assert np.allclose(x[0], [-1.5, -0.5, 0.5, 1.5])
+
+    def test_frequencies_match_fftfreq(self):
+        grid = SimulationGrid(n=8, pixel_pitch=2e-6, wavelength=1e-6)
+        fx, fy = grid.frequencies()
+        expected = np.fft.fftfreq(8, d=2e-6)
+        assert np.allclose(fx[0], expected)
+        assert np.allclose(fy[:, 0], expected)
+
+
+class TestScaling:
+    def test_with_padding(self):
+        grid = SimulationGrid(n=8, pixel_pitch=1e-6, wavelength=1e-6)
+        padded = grid.with_padding(2)
+        assert padded.n == 16
+        assert padded.pixel_pitch == grid.pixel_pitch
+
+    def test_with_padding_rejects_zero(self):
+        grid = SimulationGrid(n=8, pixel_pitch=1e-6, wavelength=1e-6)
+        with pytest.raises(ValueError):
+            grid.with_padding(0)
+
+    def test_fresnel_mode_preserves_fresnel_number(self):
+        paper = SimulationGrid.paper()
+        small = SimulationGrid(n=40, pixel_pitch=paper.pixel_pitch,
+                               wavelength=paper.wavelength)
+        z_small = small.scaled_distance(paper.n, constants.PAPER_DISTANCE,
+                                        mode="fresnel")
+        nf_paper = paper.fresnel_number(constants.PAPER_DISTANCE)
+        nf_small = small.fresnel_number(z_small)
+        assert nf_small == pytest.approx(nf_paper, rel=1e-12)
+
+    def test_connectivity_mode_preserves_fanout_fraction(self):
+        # Fractional diffraction-cone coverage lambda*z/(dx^2 * n) must
+        # match the reference system.
+        paper = SimulationGrid.paper()
+        small = SimulationGrid(n=32, pixel_pitch=paper.pixel_pitch,
+                               wavelength=paper.wavelength)
+        z_small = small.scaled_distance(paper.n, constants.PAPER_DISTANCE)
+
+        def fanout_fraction(grid, z):
+            return grid.wavelength * z / (grid.pixel_pitch ** 2 * grid.n)
+
+        assert fanout_fraction(small, z_small) == pytest.approx(
+            fanout_fraction(paper, constants.PAPER_DISTANCE), rel=1e-12
+        )
+
+    def test_unknown_scaling_mode_rejected(self):
+        grid = SimulationGrid(n=8, pixel_pitch=1e-6, wavelength=1e-6)
+        with pytest.raises(ValueError):
+            grid.scaled_distance(200, 0.1, mode="magic")
+
+    def test_fresnel_number_value(self):
+        grid = SimulationGrid.paper()
+        # (3.6 mm)^2 / (532 nm * 27.94 cm) ~ 87.2
+        assert grid.fresnel_number(constants.PAPER_DISTANCE) == pytest.approx(
+            (3.6e-3) ** 2 / (532e-9 * 27.94e-2), rel=1e-12
+        )
+
+    def test_fresnel_number_rejects_bad_distance(self):
+        with pytest.raises(ValueError):
+            SimulationGrid.paper().fresnel_number(0.0)

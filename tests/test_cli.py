@@ -1,0 +1,45 @@
+"""Tests of the command-line interface (tiny end-to-end runs)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+TINY = ["--n", "20", "--train", "60", "--test", "30", "--epochs", "1"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quickstart_defaults(self):
+        args = build_parser().parse_args(["quickstart"])
+        assert args.command == "quickstart"
+        assert args.family == "digits"
+        assert args.n == 40
+
+    def test_recipe_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recipe", "--recipe", "ours_z"])
+
+    def test_family_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quickstart", "--family", "klingon"])
+
+
+class TestCommands:
+    def test_quickstart_runs(self, capsys):
+        assert main(["quickstart", *TINY]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "R_overall" in out
+
+    def test_recipe_runs(self, capsys):
+        assert main(["recipe", "--recipe", "ours_a", *TINY]) == 0
+        out = capsys.readouterr().out
+        assert "Ours-A" in out
+
+    def test_sparse_recipe_reports_sparsity(self, capsys):
+        assert main(["recipe", "--recipe", "ours_b", *TINY]) == 0
+        out = capsys.readouterr().out
+        assert "sparsity" in out
