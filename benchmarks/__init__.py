@@ -1,0 +1,9 @@
+"""Benchmark suite (a package so the shared conftest helpers import).
+
+``pytest benchmarks/ --benchmark-only -s`` runs everything including the
+heavy end-to-end table reproductions; a plain ``pytest`` run collects the
+suite but executes only the kernel microbenchmarks (the table benches
+skip — they are hour-scale training workloads, not correctness tests).
+``python benchmarks/run_benchmarks.py`` snapshots the kernel timings to
+``BENCH_kernels.json`` for the cross-PR perf trajectory.
+"""

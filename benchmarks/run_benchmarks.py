@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Snapshot the kernel benchmarks into a machine-readable trajectory.
+
+Runs ``benchmarks/test_bench_kernels.py`` under pytest-benchmark and
+condenses the timings into ``BENCH_kernels.json``::
+
+    python benchmarks/run_benchmarks.py [--output BENCH_kernels.json]
+
+The snapshot maps each case name to mean/min/stddev wall time (seconds)
+and rounds, plus a ``summary`` block with the engine-vs-autodiff
+inference speedups — the number future PRs compare against (see
+``docs/performance.md``).  Exit status is pytest's, so a wired-up CI job
+fails when a benchmark's correctness assertion breaks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Inference benches paired into "speedup of B over A" summary entries.
+_SPEEDUPS = {
+    "engine_vs_autodiff_graph": (
+        "test_bench_inference_autodiff_graph",
+        "test_bench_inference_engine_double",
+    ),
+    "engine_vs_autodiff_no_grad": (
+        "test_bench_inference_autodiff_no_grad",
+        "test_bench_inference_engine_double",
+    ),
+    "engine_single_vs_autodiff_no_grad": (
+        "test_bench_inference_autodiff_no_grad",
+        "test_bench_inference_engine_single",
+    ),
+    "engine_single_vs_engine_double": (
+        "test_bench_inference_engine_double",
+        "test_bench_inference_engine_single",
+    ),
+}
+
+
+def run_kernel_benchmarks(output: str, pytest_args: list) -> int:
+    """Run the kernel bench module; write the condensed snapshot."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = os.path.join(tmp, "raw.json")
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        command = [
+            sys.executable, "-m", "pytest",
+            os.path.join(REPO_ROOT, "benchmarks", "test_bench_kernels.py"),
+            "--benchmark-only", "-q",
+            f"--benchmark-json={raw_path}",
+        ] + pytest_args
+        status = subprocess.call(command, cwd=REPO_ROOT, env=env)
+        if not os.path.exists(raw_path):
+            print("no benchmark data produced; snapshot not written",
+                  file=sys.stderr)
+            return status or 1
+        with open(raw_path, encoding="utf-8") as fh:
+            raw = json.load(fh)
+
+    cases = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        cases[bench["name"]] = {
+            "mean_s": stats["mean"],
+            "min_s": stats["min"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+
+    summary = {}
+    for label, (slow, fast) in _SPEEDUPS.items():
+        if slow in cases and fast in cases:
+            summary[label] = round(
+                cases[slow]["mean_s"] / cases[fast]["mean_s"], 3
+            )
+
+    snapshot = {
+        "machine_info": raw.get("machine_info", {}),
+        "datetime": raw.get("datetime"),
+        "cases": cases,
+        "summary": summary,
+    }
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(cases)} cases to {output}")
+    for label, speedup in sorted(summary.items()):
+        print(f"  {label}: {speedup:.2f}x")
+    return status
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "benchmarks", "BENCH_kernels.json"),
+        help="where to write the condensed snapshot",
+    )
+    args, pytest_args = parser.parse_known_args()
+    return run_kernel_benchmarks(args.output, pytest_args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,15 +4,23 @@ Times the hot paths at the published system size (200 x 200 masks): the
 angular-spectrum propagation, the differentiable roughness metric, the
 Gumbel-Softmax step, SLR projection, and glyph rasterization.  These are
 true repeated-timing benchmarks (unlike the one-shot table benches).
+
+The ``inference`` group tracks the compiled-engine speedup: the same
+3-layer laptop DONN forward at batch 64 through the autodiff graph
+(the seed's only path), through ``no_grad``, and through the
+:class:`~repro.runtime.InferenceEngine` in double and single precision.
+``python benchmarks/run_benchmarks.py`` snapshots these numbers to
+``BENCH_kernels.json``.
 """
 
 import numpy as np
 import pytest
 
-from repro.autodiff import Tensor
+from repro.autodiff import Tensor, no_grad
 from repro.autodiff.rng import spawn_rng
 from repro.data.glyphs import rasterize
 from repro.data.prototypes import prototype
+from repro.donn import DONN, DONNConfig
 from repro.donn.encoding import encode_amplitude
 from repro.optics import Propagator, SimulationGrid
 from repro.roughness import roughness, roughness_tensor
@@ -20,11 +28,24 @@ from repro.sparsify import block_sparsity_mask
 from repro.twopi import gumbel_softmax
 
 PAPER_N = 200
+#: The engine-vs-autodiff comparison point from the acceptance criteria.
+INFERENCE_N = 40
+INFERENCE_BATCH = 64
 
 
 @pytest.fixture(scope="module")
 def paper_grid():
     return SimulationGrid.paper()
+
+
+@pytest.fixture(scope="module")
+def laptop_model():
+    return DONN(DONNConfig.laptop(n=INFERENCE_N), rng=spawn_rng(7))
+
+
+@pytest.fixture(scope="module")
+def inference_batch():
+    return spawn_rng(8).random((INFERENCE_BATCH, 28, 28))
 
 
 def test_bench_angular_spectrum_forward(benchmark, paper_grid):
@@ -93,3 +114,61 @@ def test_bench_input_encoding(benchmark):
     images = spawn_rng(6).random((32, 28, 28))
     fields = benchmark(encode_amplitude, images, PAPER_N)
     assert fields.shape == (32, PAPER_N, PAPER_N)
+
+
+# ----------------------------------------------------------------------
+# Inference fast path: engine vs autodiff at batch 64 (3-layer, n=40)
+# ----------------------------------------------------------------------
+def test_bench_inference_autodiff_graph(benchmark, laptop_model,
+                                        inference_batch):
+    """The seed's serving path: full forward with graph recording."""
+    logits = benchmark(
+        lambda: laptop_model.forward(inference_batch).data
+    )
+    assert logits.shape == (INFERENCE_BATCH, 10)
+
+
+def test_bench_inference_autodiff_no_grad(benchmark, laptop_model,
+                                          inference_batch):
+    """Autodiff forward under ``no_grad`` (no graph, still Tensor ops)."""
+
+    def run():
+        with no_grad():
+            return laptop_model.forward(inference_batch).data
+
+    logits = benchmark(run)
+    assert logits.shape == (INFERENCE_BATCH, 10)
+
+
+def test_bench_inference_engine_double(benchmark, laptop_model,
+                                       inference_batch):
+    """Compiled engine, complex128 (bit-compatible with autodiff)."""
+    engine = laptop_model.inference_engine(max_batch=INFERENCE_BATCH)
+    logits = benchmark(engine.logits, inference_batch)
+    assert logits.shape == (INFERENCE_BATCH, 10)
+    with no_grad():
+        reference = laptop_model.forward(inference_batch).data
+    assert np.abs(logits - reference).max() < 1e-10
+
+
+def test_bench_inference_engine_single(benchmark, laptop_model,
+                                       inference_batch):
+    """Compiled engine, complex64 (halved FFT memory bandwidth)."""
+    engine = laptop_model.inference_engine(
+        precision="single", max_batch=INFERENCE_BATCH
+    )
+    logits = benchmark(engine.logits, inference_batch)
+    assert logits.shape == (INFERENCE_BATCH, 10)
+    with no_grad():
+        reference = laptop_model.forward(inference_batch).data
+    assert np.abs(logits - reference).max() < 1e-4
+
+
+def test_bench_inference_engine_paper_scale(benchmark):
+    """Engine throughput at the published 200 x 200 geometry, batch 8."""
+    model = DONN(DONNConfig.paper(), rng=spawn_rng(9))
+    engine = model.inference_engine(max_batch=8)
+    images = spawn_rng(10).random((8, 28, 28))
+    fields = encode_amplitude(images, PAPER_N)
+    logits = benchmark(engine.logits, fields)
+    assert logits.shape == (8, 10)

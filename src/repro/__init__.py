@@ -16,6 +16,7 @@ Subpackage guide:
 * :mod:`repro.twopi`    — Gumbel-Softmax 2-pi periodic phase optimization
 * :mod:`repro.data`     — synthetic MNIST/FMNIST/KMNIST/EMNIST-like datasets
 * :mod:`repro.pipeline` — the paper's experiment recipes and table harness
+* :mod:`repro.runtime`  — compiled inference fast path + shared kernel cache
 """
 
 from . import (
@@ -25,6 +26,7 @@ from . import (
     optics,
     pipeline,
     roughness,
+    runtime,
     sparsify,
     twopi,
     utils,
@@ -39,6 +41,7 @@ __all__ = [
     "optics",
     "pipeline",
     "roughness",
+    "runtime",
     "sparsify",
     "twopi",
     "utils",

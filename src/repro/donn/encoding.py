@@ -55,6 +55,7 @@ def encode_amplitude(
     images: np.ndarray,
     size: int,
     normalize: bool = True,
+    dtype=np.complex128,
 ) -> np.ndarray:
     """Encode images as the amplitude of a unit-phase coherent field.
 
@@ -67,6 +68,10 @@ def encode_amplitude(
     normalize:
         Scale each field to unit total power, making detector intensity
         sums comparable across images with different ink coverage.
+    dtype:
+        Complex dtype of the returned field; the single-precision
+        inference fast path asks for ``complex64`` directly instead of
+        round-tripping through a complex128 intermediate.
 
     Returns
     -------
@@ -87,4 +92,7 @@ def encode_amplitude(
         power = np.sum(amplitude ** 2, axis=(-2, -1), keepdims=True)
         # Blank images stay blank instead of dividing by zero.
         amplitude = amplitude / np.sqrt(np.maximum(power, 1e-30))
-    return amplitude.astype(np.complex128)
+    dtype = np.dtype(dtype)
+    if dtype.kind != "c":
+        raise TypeError(f"encoded fields are complex, got dtype {dtype}")
+    return amplitude.astype(dtype)

@@ -15,6 +15,7 @@ import numpy as np
 from ..autodiff import Module, Tensor, no_grad
 from ..autodiff import ops
 from ..optics import Propagator, SimulationGrid, constants
+from ..runtime import InferenceEngine, ScratchBuffers
 from .detectors import DetectorLayout, DetectorPlane
 from .encoding import encode_amplitude
 from .layers import DiffractiveLayer
@@ -126,6 +127,9 @@ class DONN(Module):
             normalize=config.detector_normalize,
             gain=config.detector_gain,
         )
+        #: Scratch pool shared by every engine built off this model, so
+        #: repeated ``predict`` calls reuse the same padded buffers.
+        self._scratch = ScratchBuffers()
 
     # ------------------------------------------------------------------
     # Encoding & forward
@@ -172,20 +176,36 @@ class DONN(Module):
         intensity = ops.abs2(field)
         return self.detector.readout(intensity)
 
+    # ------------------------------------------------------------------
+    # Compiled (graph-free) read paths
+    # ------------------------------------------------------------------
+    def inference_engine(self, **kwargs) -> InferenceEngine:
+        """Compile the current phase masks into an :class:`InferenceEngine`.
+
+        The engine snapshots the modulations: rebuild (or ``refresh()``)
+        after further training.  Engines built here share this model's
+        scratch-buffer pool, so repeated short-lived engines do not
+        reallocate their padded work arrays.  Keyword arguments are
+        forwarded (``precision``, ``max_batch``, ``modulations``, ...).
+        """
+        kwargs.setdefault("buffers", self._scratch)
+        return InferenceEngine(self, **kwargs)
+
     def intensity_map(self, inputs) -> np.ndarray:
         """Detector-plane intensity pattern(s), for visualization."""
-        with no_grad():
-            field = self._as_field(inputs)
-            for layer in self.layers:
-                field = layer(field)
-            field = self.to_detector(field)
-            return np.asarray(ops.abs2(field).data)
+        return self.inference_engine().intensity_map(inputs)
 
-    @no_grad()
     def predict(self, inputs) -> np.ndarray:
-        """Predicted class labels (argmax of detector sums)."""
-        logits = self.forward(inputs).data
-        return np.argmax(np.atleast_2d(logits), axis=-1)
+        """Predicted class labels (argmax of detector sums).
+
+        Routed through the compiled engine — identical logits to
+        ``forward`` (the equivalence is test-enforced) at roughly half
+        the wall time and zero graph bookkeeping.  Each call
+        re-snapshots the current phases; when scoring many small inputs
+        between which the phases cannot change, build one engine with
+        :meth:`inference_engine` and call ``engine.predict`` instead.
+        """
+        return self.inference_engine().predict(inputs)
 
     # ------------------------------------------------------------------
     # Mask access

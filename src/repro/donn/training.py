@@ -75,6 +75,14 @@ class Trainer:
     # ------------------------------------------------------------------
     def loss(self, images: np.ndarray, labels: np.ndarray) -> tuple:
         """Return ``(total, classification, regularization)`` tensors."""
+        total, classification, reg_total, _ = self._loss_with_logits(
+            images, labels
+        )
+        return total, classification, reg_total
+
+    def _loss_with_logits(self, images: np.ndarray,
+                          labels: np.ndarray) -> tuple:
+        """``loss`` terms plus the forward logits (reused for accuracy)."""
         logits = self.model(images)
         classification = F.mse_softmax_loss(
             logits, labels, num_classes=self.model.config.num_classes
@@ -86,7 +94,7 @@ class Trainer:
             reg_total = term if reg_total is None else reg_total + term
         if reg_total is not None:
             total = total + reg_total
-        return total, classification, reg_total
+        return total, classification, reg_total, logits
 
     # ------------------------------------------------------------------
     # Epoch driver
@@ -98,7 +106,9 @@ class Trainer:
         seen = 0
         for images, labels in loader:
             self.optimizer.zero_grad()
-            total, classification, regularization = self.loss(images, labels)
+            total, classification, regularization, logits = (
+                self._loss_with_logits(images, labels)
+            )
             total.backward()
             self.optimizer.step()
 
@@ -108,7 +118,9 @@ class Trainer:
             totals["classification"] += classification.item() * batch
             if regularization is not None:
                 totals["regularization"] += regularization.item() * batch
-            predictions = self.model.predict(images)
+            # Reuse the forward pass already paid for by the loss — the
+            # (pre-step) logits — instead of a second full propagation.
+            predictions = np.argmax(np.atleast_2d(logits.data), axis=-1)
             correct += int((predictions == labels).sum())
         if seen == 0:
             raise ValueError("loader produced no batches")

@@ -160,26 +160,22 @@ class Propagator:
         self.distance = float(distance)
         self.method = method
         self.pad_factor = int(pad_factor)
-        # Symmetric padding: round the requested enlargement up so the
-        # padded side is n + 2*pad even when (pad_factor-1)*n is odd.
-        pad = ((self.pad_factor - 1) * grid.n + 1) // 2
-        padded_grid = SimulationGrid(
-            n=grid.n + 2 * pad,
-            pixel_pitch=grid.pixel_pitch,
-            wavelength=grid.wavelength,
+        self.band_limit = bool(band_limit)
+        # The padded-grid transfer function is shared process-wide: every
+        # Propagator (and InferenceEngine) with the same geometry holds
+        # the *same* read-only array, so an L-layer DONN computes exactly
+        # one kernel instead of L + 1.
+        from ..runtime.kernel_cache import get_kernel
+
+        #: Shared :class:`~repro.runtime.kernel_cache.PropagationKernel`.
+        self.kernel = get_kernel(
+            grid, self.distance, method=method,
+            pad_factor=self.pad_factor, band_limit=self.band_limit,
         )
-        if method == "angular_spectrum":
-            h = angular_spectrum_tf(padded_grid, self.distance, band_limit)
-        elif method == "fresnel":
-            h = fresnel_tf(padded_grid, self.distance)
-        else:
-            raise ValueError(
-                f"unknown propagation method {method!r}; expected "
-                "'angular_spectrum' or 'fresnel'"
-            )
-        #: Constant transfer function on the padded grid.
-        self.transfer_function = Tensor(h)
-        self._pad_pixels = pad
+        #: Constant transfer function on the padded grid (shares storage
+        #: with the cache entry).
+        self.transfer_function = Tensor(self.kernel.h)
+        self._pad_pixels = self.kernel.pad
 
     def __call__(self, field) -> Tensor:
         """Propagate ``field`` (shape ``(..., n, n)``), differentiably."""

@@ -1,0 +1,200 @@
+"""Process-wide cache of free-space propagation transfer functions.
+
+Every :class:`~repro.optics.propagation.Propagator` — and there are
+``L + 1`` of them in an ``L``-layer DONN (one per diffractive layer plus
+the detector hop) — historically rebuilt an identical angular-spectrum
+transfer function ``H`` on the padded grid.  ``H`` depends only on the
+sampling geometry and the hop, so this module memoizes it process-wide
+under the key::
+
+    (n, pixel_pitch, wavelength, distance, method, pad_factor, band_limit)
+
+where ``n`` is the *unpadded* mask resolution.  A 3-layer DONN therefore
+computes exactly one kernel; so does every :class:`InferenceEngine`,
+exhaustive sweep, or deployment simulation that shares the geometry.
+
+Cached arrays are returned with ``writeable=False`` so that accidental
+in-place mutation by one consumer cannot corrupt every other holder of
+the shared kernel.  The cache is bounded (LRU) and thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..optics.grid import SimulationGrid
+
+__all__ = [
+    "KernelKey",
+    "PropagationKernel",
+    "get_kernel",
+    "get_transfer_function",
+    "cache_info",
+    "clear_kernel_cache",
+    "set_cache_limit",
+]
+
+_METHODS = ("angular_spectrum", "fresnel")
+
+#: Geometry key uniquely identifying one transfer function.
+KernelKey = Tuple[int, float, float, float, str, int, bool]
+
+_lock = threading.RLock()
+_cache: "OrderedDict[KernelKey, PropagationKernel]" = OrderedDict()
+_hits = 0
+_misses = 0
+_max_entries = 64
+
+
+@dataclass(frozen=True)
+class PropagationKernel:
+    """A precomputed, shareable padded-grid transfer function.
+
+    Attributes
+    ----------
+    key:
+        The geometry tuple the kernel was built under.
+    h:
+        Complex128 transfer function on the padded grid (read-only).
+    pad:
+        Pixels of zero-padding per side; the padded side length is
+        ``n + 2 * pad``.
+    grid:
+        The *unpadded* simulation grid.
+    """
+
+    key: KernelKey
+    h: np.ndarray
+    pad: int
+    grid: SimulationGrid
+
+    @property
+    def padded_n(self) -> int:
+        return self.h.shape[-1]
+
+
+def make_key(
+    grid: SimulationGrid,
+    distance: float,
+    method: str = "angular_spectrum",
+    pad_factor: int = 2,
+    band_limit: bool = True,
+) -> KernelKey:
+    """Normalize geometry parameters into the canonical cache key."""
+    if method not in _METHODS:
+        raise ValueError(
+            f"unknown propagation method {method!r}; expected one of "
+            f"{_METHODS}"
+        )
+    if pad_factor < 1:
+        raise ValueError(f"pad_factor must be >= 1, got {pad_factor}")
+    return (
+        int(grid.n),
+        float(grid.pixel_pitch),
+        float(grid.wavelength),
+        float(distance),
+        method,
+        int(pad_factor),
+        bool(band_limit),
+    )
+
+
+def _pad_pixels(n: int, pad_factor: int) -> int:
+    # Symmetric padding: round the requested enlargement up so the padded
+    # side is n + 2*pad even when (pad_factor - 1) * n is odd.
+    return ((pad_factor - 1) * n + 1) // 2
+
+
+def _compute(key: KernelKey) -> PropagationKernel:
+    from ..optics import propagation  # local import: optics <-> runtime
+
+    n, pitch, wavelength, distance, method, pad_factor, band_limit = key
+    grid = SimulationGrid(n=n, pixel_pitch=pitch, wavelength=wavelength)
+    pad = _pad_pixels(n, pad_factor)
+    padded_grid = SimulationGrid(
+        n=n + 2 * pad, pixel_pitch=pitch, wavelength=wavelength
+    )
+    if method == "angular_spectrum":
+        h = propagation.angular_spectrum_tf(padded_grid, distance, band_limit)
+    else:
+        h = propagation.fresnel_tf(padded_grid, distance)
+    h.flags.writeable = False
+    return PropagationKernel(key=key, h=h, pad=pad, grid=grid)
+
+
+def get_kernel(
+    grid: SimulationGrid,
+    distance: float,
+    method: str = "angular_spectrum",
+    pad_factor: int = 2,
+    band_limit: bool = True,
+) -> PropagationKernel:
+    """Fetch (or compute once) the shared kernel for a geometry."""
+    global _hits, _misses
+    key = make_key(grid, distance, method, pad_factor, band_limit)
+    with _lock:
+        kernel = _cache.get(key)
+        if kernel is not None:
+            _hits += 1
+            _cache.move_to_end(key)
+            return kernel
+        _misses += 1
+    # Compute outside the lock: kernels are large and pure functions of
+    # the key, so a rare duplicate computation beats serializing all
+    # builders behind one global lock.
+    kernel = _compute(key)
+    with _lock:
+        existing = _cache.get(key)
+        if existing is not None:
+            return existing
+        _cache[key] = kernel
+        while len(_cache) > _max_entries:
+            _cache.popitem(last=False)
+    return kernel
+
+
+def get_transfer_function(
+    grid: SimulationGrid,
+    distance: float,
+    method: str = "angular_spectrum",
+    pad_factor: int = 2,
+    band_limit: bool = True,
+) -> np.ndarray:
+    """The shared (read-only) padded-grid ``H`` for a geometry."""
+    return get_kernel(grid, distance, method, pad_factor, band_limit).h
+
+
+def cache_info() -> Dict[str, int]:
+    """Hit/miss counters and current size (for tests and monitoring)."""
+    with _lock:
+        return {
+            "hits": _hits,
+            "misses": _misses,
+            "size": len(_cache),
+            "max_entries": _max_entries,
+        }
+
+
+def clear_kernel_cache() -> None:
+    """Drop every cached kernel and reset the counters."""
+    global _hits, _misses
+    with _lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0
+
+
+def set_cache_limit(max_entries: int) -> None:
+    """Bound the number of resident kernels (evicts LRU beyond it)."""
+    global _max_entries
+    if max_entries < 1:
+        raise ValueError(f"cache limit must be >= 1, got {max_entries}")
+    with _lock:
+        _max_entries = int(max_entries)
+        while len(_cache) > _max_entries:
+            _cache.popitem(last=False)

@@ -8,7 +8,12 @@
 
 from .exhaustive import brute_force_offsets, greedy_offsets, roughness_batch
 from .gumbel import gumbel_softmax
-from .optimizer import TwoPiConfig, TwoPiOptimizer, TwoPiSolution
+from .optimizer import (
+    TwoPiConfig,
+    TwoPiOptimizer,
+    TwoPiSolution,
+    forward_invariance_gap,
+)
 
 __all__ = [
     "gumbel_softmax",
@@ -18,4 +23,5 @@ __all__ = [
     "TwoPiConfig",
     "TwoPiOptimizer",
     "TwoPiSolution",
+    "forward_invariance_gap",
 ]

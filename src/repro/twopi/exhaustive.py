@@ -38,12 +38,16 @@ def roughness_batch(masks: np.ndarray, k: int = 8) -> np.ndarray:
 
 
 def brute_force_offsets(
-    phase: np.ndarray, k: int = 8, limit: int = 16
+    phase: np.ndarray, k: int = 8, limit: int = 16,
+    chunk_size: int = 65536,
 ) -> Tuple[np.ndarray, float]:
     """Exact optimal {0, 2 pi} add-on mask by full enumeration.
 
     Only feasible for masks with at most ``limit`` pixels (2^m candidates
-    are evaluated, vectorized).  Returns ``(offsets, best_roughness)``.
+    are evaluated, vectorized).  Candidates are streamed in chunks of
+    ``chunk_size`` — the same memory-bounding pattern as the inference
+    engine's ``max_batch`` — so raising ``limit`` costs time, not peak
+    memory.  Returns ``(offsets, best_roughness)``.
     """
     phase = np.asarray(phase, dtype=np.float64)
     pixels = phase.size
@@ -51,13 +55,26 @@ def brute_force_offsets(
         raise ValueError(
             f"brute force limited to {limit} pixels, got {pixels}"
         )
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     count = 1 << pixels
-    bits = (np.arange(count)[:, None] >> np.arange(pixels)[None, :]) & 1
-    candidates = phase.ravel()[None, :] + TWO_PI * bits
-    scores = roughness_batch(candidates.reshape(count, *phase.shape), k=k)
-    best = int(np.argmin(scores))
-    offsets = (TWO_PI * bits[best]).reshape(phase.shape)
-    return offsets, float(scores[best])
+    pixel_index = np.arange(pixels)[None, :]
+    flat = phase.ravel()[None, :]
+    best_score = np.inf
+    best_bits: Optional[np.ndarray] = None
+    for start in range(0, count, chunk_size):
+        stop = min(start + chunk_size, count)
+        bits = (np.arange(start, stop)[:, None] >> pixel_index) & 1
+        candidates = flat + TWO_PI * bits
+        scores = roughness_batch(
+            candidates.reshape(stop - start, *phase.shape), k=k
+        )
+        winner = int(np.argmin(scores))
+        if scores[winner] < best_score:
+            best_score = float(scores[winner])
+            best_bits = bits[winner]
+    offsets = (TWO_PI * best_bits).reshape(phase.shape)
+    return offsets, best_score
 
 
 def _local_roughness(padded: np.ndarray, row: int, col: int, k: int) -> float:

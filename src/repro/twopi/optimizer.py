@@ -31,7 +31,43 @@ from ..roughness.metrics import roughness, roughness_tensor
 from .exhaustive import greedy_offsets
 from .gumbel import gumbel_softmax
 
-__all__ = ["TwoPiConfig", "TwoPiSolution", "TwoPiOptimizer"]
+__all__ = ["TwoPiConfig", "TwoPiSolution", "TwoPiOptimizer",
+           "forward_invariance_gap"]
+
+
+def forward_invariance_gap(
+    model,
+    solutions: List["TwoPiSolution"],
+    inputs: np.ndarray,
+    precision: str = "double",
+    max_batch: int = 64,
+) -> float:
+    """Max-abs logit deviation introduced by the 2-pi add-on masks.
+
+    The 2-pi step is supposed to be forward-invariant —
+    ``exp(i (phi + 2 pi s)) == exp(i phi)`` — so this should be at
+    floating-point noise (~1e-15 in double precision).  Both sides run
+    through the compiled :class:`~repro.runtime.InferenceEngine` (one
+    shared kernel, no autodiff graph), so verifying a smoothing result
+    over a whole test set is cheap.
+    """
+    if len(solutions) != len(model.layers):
+        raise ValueError(
+            f"got {len(solutions)} solutions for {len(model.layers)} layers"
+        )
+    phases = model.phases(wrapped=True)
+    lifted = [
+        np.exp(1j * (phase + solution.offsets))
+        for phase, solution in zip(phases, solutions)
+    ]
+    baseline = model.inference_engine(
+        precision=precision, max_batch=max_batch
+    )
+    smoothed = model.inference_engine(
+        modulations=lifted, precision=precision, max_batch=max_batch
+    )
+    gap = np.abs(baseline.logits(inputs) - smoothed.logits(inputs))
+    return float(gap.max())
 
 
 @dataclass(frozen=True)
@@ -142,7 +178,20 @@ class TwoPiOptimizer:
             history=history,
         )
 
-    def optimize_model(self, model) -> List[TwoPiSolution]:
-        """Smooth every layer of a DONN; returns per-layer solutions."""
-        return [self.optimize_mask(phase) for phase in
-                model.phases(wrapped=True)]
+    def optimize_model(
+        self, model, verify_inputs: Optional[np.ndarray] = None
+    ) -> List[TwoPiSolution]:
+        """Smooth every layer of a DONN; returns per-layer solutions.
+
+        When ``verify_inputs`` (images or encoded fields) is given, the
+        claimed forward invariance is checked end to end through the
+        compiled inference engine and the residual is stored in each
+        solution's ``history["forward_invariance_gap"]``.
+        """
+        solutions = [self.optimize_mask(phase) for phase in
+                     model.phases(wrapped=True)]
+        if verify_inputs is not None:
+            gap = forward_invariance_gap(model, solutions, verify_inputs)
+            for solution in solutions:
+                solution.history["forward_invariance_gap"] = [gap]
+        return solutions
