@@ -26,7 +26,7 @@ __all__ = ["table_config", "report"]
 #: pytest's output capture (the timing table alone is not the result).
 _REPORT_PATH = os.environ.get(
     "REPRO_BENCH_REPORT",
-    os.path.join(os.path.dirname(__file__), "..", "benchmarks_report.txt"),
+    os.path.join(os.path.dirname(__file__), "benchmarks_report.txt"),
 )
 
 

@@ -1,14 +1,19 @@
 #!/usr/bin/env python
-"""Snapshot the kernel benchmarks into a machine-readable trajectory.
+"""Snapshot the kernel and training benchmarks as perf trajectories.
 
-Runs ``benchmarks/test_bench_kernels.py`` under pytest-benchmark and
-condenses the timings into ``BENCH_kernels.json``::
+Runs ``benchmarks/test_bench_kernels.py`` and
+``benchmarks/test_bench_training.py`` under pytest-benchmark and condenses
+the timings into ``BENCH_kernels.json`` / ``BENCH_training.json``::
 
-    python benchmarks/run_benchmarks.py [--output BENCH_kernels.json]
+    python benchmarks/run_benchmarks.py [--only kernels|training]
+        [--kernels-output BENCH_kernels.json]
+        [--training-output BENCH_training.json]
 
-The snapshot maps each case name to mean/min/stddev wall time (seconds)
-and rounds, plus a ``summary`` block with the engine-vs-autodiff
-inference speedups — the number future PRs compare against (see
+Each snapshot maps case names to mean/min/stddev wall time (seconds) and
+rounds, plus a ``summary`` block of speedup ratios — the engine-vs-autodiff
+inference speedups for the kernel snapshot, and the fused-vs-composed
+training-step speedups (per grid size, batch 32) for the training snapshot.
+These are the numbers future PRs compare against (see
 ``docs/performance.md``).  Exit status is pytest's, so a wired-up CI job
 fails when a benchmark's correctness assertion breaks.
 """
@@ -25,7 +30,7 @@ import tempfile
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: Inference benches paired into "speedup of B over A" summary entries.
-_SPEEDUPS = {
+_KERNEL_SPEEDUPS = {
     "engine_vs_autodiff_graph": (
         "test_bench_inference_autodiff_graph",
         "test_bench_inference_engine_double",
@@ -44,9 +49,19 @@ _SPEEDUPS = {
     ),
 }
 
+#: Training-step benches: fused fast path vs the composed graph per size.
+_TRAINING_SPEEDUPS = {
+    f"train_fused_vs_composed_n{n}": (
+        f"test_bench_train_step_composed[{n}]",
+        f"test_bench_train_step_fused[{n}]",
+    )
+    for n in (32, 64, 96)
+}
 
-def run_kernel_benchmarks(output: str, pytest_args: list) -> int:
-    """Run the kernel bench module; write the condensed snapshot."""
+
+def run_bench_module(module: str, output: str, speedups: dict,
+                     pytest_args: list) -> int:
+    """Run one bench module under pytest-benchmark; write its snapshot."""
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = os.path.join(tmp, "raw.json")
         env = dict(os.environ)
@@ -56,14 +71,17 @@ def run_kernel_benchmarks(output: str, pytest_args: list) -> int:
         )
         command = [
             sys.executable, "-m", "pytest",
-            os.path.join(REPO_ROOT, "benchmarks", "test_bench_kernels.py"),
+            os.path.join(REPO_ROOT, "benchmarks", module),
             "--benchmark-only", "-q",
             f"--benchmark-json={raw_path}",
         ] + pytest_args
         status = subprocess.call(command, cwd=REPO_ROOT, env=env)
-        if not os.path.exists(raw_path):
-            print("no benchmark data produced; snapshot not written",
-                  file=sys.stderr)
+        # pytest-benchmark leaves a 0-byte json when every test in the
+        # module was deselected (e.g. a -k filter aimed at the other
+        # module) — treat that the same as no file at all.
+        if not os.path.exists(raw_path) or os.path.getsize(raw_path) == 0:
+            print(f"no benchmark data produced for {module}; "
+                  "snapshot not written", file=sys.stderr)
             return status or 1
         with open(raw_path, encoding="utf-8") as fh:
             raw = json.load(fh)
@@ -79,7 +97,7 @@ def run_kernel_benchmarks(output: str, pytest_args: list) -> int:
         }
 
     summary = {}
-    for label, (slow, fast) in _SPEEDUPS.items():
+    for label, (slow, fast) in speedups.items():
         if slow in cases and fast in cases:
             summary[label] = round(
                 cases[slow]["mean_s"] / cases[fast]["mean_s"], 3
@@ -103,12 +121,33 @@ def run_kernel_benchmarks(output: str, pytest_args: list) -> int:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
-        "--output",
+        "--only", choices=("kernels", "training"), default=None,
+        help="snapshot just one bench group (default: both)",
+    )
+    parser.add_argument(
+        "--kernels-output", "--output", dest="kernels_output",
         default=os.path.join(REPO_ROOT, "benchmarks", "BENCH_kernels.json"),
-        help="where to write the condensed snapshot",
+        help="where to write the kernel snapshot",
+    )
+    parser.add_argument(
+        "--training-output",
+        default=os.path.join(REPO_ROOT, "benchmarks", "BENCH_training.json"),
+        help="where to write the training snapshot",
     )
     args, pytest_args = parser.parse_known_args()
-    return run_kernel_benchmarks(args.output, pytest_args)
+
+    status = 0
+    if args.only in (None, "kernels"):
+        status = run_bench_module(
+            "test_bench_kernels.py", args.kernels_output,
+            _KERNEL_SPEEDUPS, pytest_args,
+        ) or status
+    if args.only in (None, "training"):
+        status = run_bench_module(
+            "test_bench_training.py", args.training_output,
+            _TRAINING_SPEEDUPS, pytest_args,
+        ) or status
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,83 @@
+"""Training-step benches: the fused DiffMod VJP vs the composed graph.
+
+Times one full optimization step (loss forward + backward + Adam update,
+batch 32) of a 3-layer DONN at several grid sizes, once through the fused
+single-node fast path (the default) and once through the composed per-op
+reference graph.  ``python benchmarks/run_benchmarks.py`` snapshots the
+fused-vs-composed speedups to ``BENCH_training.json`` — the acceptance
+point is n=64/batch=32, where the fused path must stay >= 2x faster.
+
+``benchmark.pedantic`` with fixed rounds keeps the cost of a plain
+``pytest`` sweep bounded; the largest size only runs when benchmarking
+is explicitly requested.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Adam, fused
+from repro.autodiff.rng import spawn_rng
+from repro.donn import DONN, DONNConfig, Trainer
+
+BATCH = 32
+SIZES = (32, 64, 96)
+#: Sizes above this only run under --benchmark-only / REPRO_RUN_TABLE_BENCHES.
+_HEAVY_N = 96
+
+
+def _skip_heavy(request, n):
+    explicitly_enabled = (
+        request.config.getoption("--benchmark-only")
+        or os.environ.get("REPRO_RUN_TABLE_BENCHES")
+    )
+    if n >= _HEAVY_N and not explicitly_enabled:
+        pytest.skip(
+            "heavy training bench (enable with --benchmark-only or "
+            "REPRO_RUN_TABLE_BENCHES=1)"
+        )
+
+
+def make_step(n):
+    """One full training step (zero_grad / loss / backward / Adam)."""
+    model = DONN(DONNConfig.laptop(n=n), rng=spawn_rng(11))
+    trainer = Trainer(model, Adam(model.parameters(), lr=0.05))
+    images = spawn_rng(12).random((BATCH, 28, 28))
+    labels = spawn_rng(13).integers(0, 10, BATCH)
+
+    def step():
+        trainer.optimizer.zero_grad()
+        total, _, _ = trainer.loss(images, labels)
+        total.backward()
+        trainer.optimizer.step()
+        return total.item()
+
+    return step
+
+
+def _bench(benchmark, step):
+    return benchmark.pedantic(step, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bench_train_step_fused(benchmark, request, n):
+    """Fused fast path: single-node DiffMod forward, analytic VJP."""
+    _skip_heavy(request, n)
+    assert fused.fused_enabled()
+    value = _bench(benchmark, make_step(n))
+    assert np.isfinite(value)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bench_train_step_composed(benchmark, request, n):
+    """Composed reference: the ~10-node-per-layer recorded graph."""
+    _skip_heavy(request, n)
+    step = make_step(n)
+
+    def composed_step():
+        with fused.fused_disabled():
+            return step()
+
+    value = _bench(benchmark, composed_step)
+    assert np.isfinite(value)

@@ -6,12 +6,14 @@ Public surface:
 * :mod:`repro.autodiff.ops` — primitive differentiable operations;
 * :mod:`repro.autodiff.fft` — differentiable 2-D FFTs with exact adjoints;
 * :mod:`repro.autodiff.functional` — softmax / losses / statistics;
+* :mod:`repro.autodiff.fused` — the fused DiffMod training fast path
+  (single-node forward with hand-derived analytic VJPs);
 * :class:`Module`, :class:`Parameter` — model containers;
 * :class:`Adam`, :class:`SGD` — optimizers;
 * :func:`gradcheck` — finite-difference validation.
 """
 
-from . import fft, functional, ops, rng
+from . import fft, functional, fused, ops, rng
 from .gradcheck import gradcheck, numeric_gradient
 from .module import Module, Parameter
 from .optim import SGD, Adam, ExponentialLR, Optimizer, StepLR
@@ -35,5 +37,6 @@ __all__ = [
     "ops",
     "fft",
     "functional",
+    "fused",
     "rng",
 ]

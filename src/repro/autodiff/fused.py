@@ -1,0 +1,305 @@
+"""Fused training fast path: the DiffMod chain as one custom autodiff op.
+
+The composed forward of a :class:`~repro.donn.layers.DiffractiveLayer`
+records ~10 graph nodes per layer per batch::
+
+    pad -> fft2 -> H-mul -> ifft2 -> crop -> sigmoid -> scale
+        -> make_complex -> exp -> mul
+
+Each node allocates its output and a vjp closure, and the crop's backward
+scatters with ``np.add.at`` — none of which is necessary.  The propagation
+``P = crop . ifft2 . (H .) . fft2 . pad`` is linear, so its adjoint is the
+same two FFTs around a ``conj(H)`` multiply, and the phase vjp is a
+closed-form elementwise expression of intermediates the forward already
+produced.  :func:`diffmod` therefore computes the whole chain in one NumPy
+pass and records a *single* graph node with a hand-derived backward:
+
+* field path — ``out = P(field) * W`` with ``P`` linear and ``W = exp(i
+  phi)`` constant in ``field``, so ``grad_field = P^H(g * conj(W))``
+  (two FFTs, the propagation adjoint);
+* phase path — ``out = P * exp(i phi)`` is holomorphic in ``phi`` with
+  ``d out / d phi = i * out``, so under the engine's gradient convention
+  ``dL/dphi = Im(conj(out) * g)`` summed over the batch, then chained
+  through the (optional) frozen sparsity mask and the sigmoid
+  reparametrization ``phi = 2 pi * s(w)`` (factor ``2 pi * s * (1 - s)``).
+  Both factors reuse cached forward intermediates — backward adds exactly
+  two FFTs and zero graph bookkeeping.
+
+The forward reuses the shared propagation-kernel cache (per-hop ortho
+scaling folded into ``H`` once, exactly like the inference engine) and the
+runtime scratch buffers, and applies the engine's pruned-FFT border trick:
+the padded field is zero outside the ``n`` interior rows, so the row-axis
+passes only visit those rows — 25 % less FFT work at ``pad_factor=2`` with
+results identical to the composed ops.
+
+The fast path is the default for :class:`~repro.optics.propagation.Propagator`
+and :class:`~repro.donn.layers.DiffractiveLayer`.  Opt out for debugging
+with :func:`set_fused_enabled`, the :class:`fused_disabled` context
+manager, or ``REPRO_FUSED=0`` in the environment; the composed per-op
+graph is kept as the reference implementation (equivalence is
+test-enforced by ``tests/autodiff/test_fused.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import fft as _fft
+
+from .ops import _build
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "diffmod",
+    "propagate",
+    "fused_enabled",
+    "set_fused_enabled",
+    "fused_disabled",
+    "clear_scratch",
+]
+
+_TWO_PI = 2.0 * np.pi
+_PARAMETRIZATIONS = ("sigmoid", "direct")
+
+#: Global switch; REPRO_FUSED=0 in the environment starts it disabled.
+_ENABLED: bool = os.environ.get("REPRO_FUSED", "1").lower() not in (
+    "0", "false", "off",
+)
+
+
+def fused_enabled() -> bool:
+    """Whether layers/propagators run the fused single-node fast path."""
+    return _ENABLED
+
+
+def set_fused_enabled(mode: bool) -> None:
+    """Globally enable or disable the fused fast path."""
+    global _ENABLED
+    _ENABLED = bool(mode)
+
+
+class fused_disabled:
+    """Context manager that runs the composed per-op reference graph.
+
+    Usable as a decorator, mirroring :class:`~repro.autodiff.no_grad`.
+    """
+
+    def __enter__(self) -> "fused_disabled":
+        self._previous = fused_enabled()
+        set_fused_enabled(False)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        set_fused_enabled(self._previous)
+
+    def __call__(self, fn):
+        def wrapper(*args, **kwargs):
+            with fused_disabled():
+                return fn(*args, **kwargs)
+
+        wrapper.__name__ = getattr(fn, "__name__", "wrapped")
+        wrapper.__doc__ = fn.__doc__
+        return wrapper
+
+
+# ----------------------------------------------------------------------
+# Shared prescaled kernels and scratch buffers
+# ----------------------------------------------------------------------
+_SCRATCH = None
+
+
+def _scratch():
+    """Process-wide scratch pool (lazy import dodges the optics cycle)."""
+    global _SCRATCH
+    if _SCRATCH is None:
+        from ..runtime.buffers import ScratchBuffers
+
+        _SCRATCH = ScratchBuffers()
+    return _SCRATCH
+
+
+def clear_scratch() -> None:
+    """Release the calling thread's fused-op scratch buffers.
+
+    The pool retains the largest padded work plane a thread has ever
+    used (``batch * padded_n^2`` complex128); long-lived processes that
+    finished a large training run can reclaim that memory here.
+    """
+    if _SCRATCH is not None:
+        _SCRATCH.clear()
+
+
+def _prescaled(kernel) -> Tuple[np.ndarray, np.ndarray]:
+    """``(H/side^2, conj(H)/side^2)`` for a shared PropagationKernel.
+
+    Both arrays are computed once per cached kernel and shared with
+    every other consumer (see ``PropagationKernel.prescaled``); the
+    per-hop ortho scalings are folded in so the hot loop runs unscaled
+    DFT passes, exactly like the inference engine.
+    """
+    return kernel.prescaled(), kernel.prescaled_conj()
+
+
+# ----------------------------------------------------------------------
+# The propagation pass (forward and adjoint are the same routine)
+# ----------------------------------------------------------------------
+def _propagate_padded(fields: np.ndarray, h: np.ndarray, pad: int,
+                      n: int) -> np.ndarray:
+    """One pad -> FFT -> ``h``-mul -> IFFT -> crop hop over ``(batch, n, n)``.
+
+    ``h`` is a *prescaled* transfer function (or its conjugate, for the
+    adjoint).  The padded field is zero outside the ``n`` interior rows,
+    so each 2-D transform runs as two 1-D passes and the row-axis pass
+    only visits those rows (the zero border transforms to zero for free);
+    the inverse side produces only the interior rows, which is all the
+    crop keeps.  Returns a fresh array each call — only the padded
+    ``work`` plane is shared scratch.
+
+    This is the single-hop form of the multi-hop loop in
+    ``InferenceEngine._propagate_chunk`` (which additionally keeps the
+    field resident on the padded grid between hops); a change to the
+    pruning trick or the normalization convention must be mirrored there.
+    """
+    side = h.shape[-1]
+    batch = fields.shape[0]
+    rows = slice(pad, pad + n)
+    work = _scratch().zeros("fused", (batch, side, side), np.complex128)
+    work[:, rows, pad:pad + n] = fields
+    work[:, rows, :] = _fft.fft(work[:, rows, :], axis=-1)
+    spectrum = _fft.fft(work, axis=-2)
+    np.multiply(spectrum, h, out=spectrum)
+    tall = _fft.ifft(spectrum, axis=-2, norm="forward", overwrite_x=True)
+    inner = _fft.ifft(tall[:, rows, :], axis=-1, norm="forward",
+                      overwrite_x=True)
+    return inner[:, :, pad:pad + n]
+
+
+def _check_field(field: Tensor, n: int) -> None:
+    if field.shape[-1] != n or field.shape[-2] != n:
+        raise ValueError(
+            f"field shape {field.shape} does not match grid n={n}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Fused ops
+# ----------------------------------------------------------------------
+def propagate(field, propagator) -> Tensor:
+    """Free-space propagation as one graph node (the :class:`Propagator`
+    fast path).
+
+    Forward: ``crop(ifft2(fft2(pad(field)) * H))`` in a single pruned
+    NumPy pass.  Backward: the exact adjoint, ``crop(ifft2(fft2(pad(g)) *
+    conj(H)))`` — gradient-identical to the composed pad/fft2/mul/ifft2/
+    crop chain.
+    """
+    field = as_tensor(field)
+    kernel = propagator.kernel
+    n = kernel.grid.n
+    _check_field(field, n)
+    h, h_conj = _prescaled(kernel)
+    pad = kernel.pad
+    shape = field.shape
+    fields = field.data.reshape((-1, n, n))
+    out = np.ascontiguousarray(
+        _propagate_padded(fields, h, pad, n)
+    ).reshape(shape)
+
+    def vjp(g):
+        g = np.asarray(g).reshape((-1, n, n))
+        return _propagate_padded(g, h_conj, pad, n).reshape(shape)
+
+    return _build(out, [(field, vjp)])
+
+
+def diffmod(
+    field,
+    raw_phase,
+    propagator,
+    mask: Optional[np.ndarray] = None,
+    parametrization: str = "sigmoid",
+) -> Tensor:
+    """The whole ``DiffMod(f, W) = L(f, z) * exp(i phi(w))`` chain as one
+    autodiff node (the :class:`DiffractiveLayer` training fast path).
+
+    Parameters
+    ----------
+    field:
+        Incoming complex field, shape ``(..., n, n)``.
+    raw_phase:
+        The layer's trainable raw weights ``w`` of shape ``(n, n)``
+        (pre-sigmoid under ``"sigmoid"``, the phase itself under
+        ``"direct"``).
+    propagator:
+        The layer's :class:`~repro.optics.propagation.Propagator`; its
+        shared cached kernel supplies ``H`` and the padding.
+    mask:
+        Optional frozen 0/1 keep-mask applied to the phase *value*
+        (pruned pixels impart ``phi = 0`` and receive no gradient).
+    parametrization:
+        ``"sigmoid"`` (``phi = 2 pi * sigmoid(w)``) or ``"direct"``
+        (``phi = w``).
+
+    Forward cost is one pruned propagation pass plus elementwise work;
+    backward adds exactly two FFTs (the propagation adjoint for the field
+    gradient) and reuses the cached modulation and layer output for the
+    phase gradient — see the module docstring for the derivation.
+    """
+    if parametrization not in _PARAMETRIZATIONS:
+        raise ValueError(
+            f"unknown parametrization {parametrization!r}; expected one "
+            f"of {_PARAMETRIZATIONS}"
+        )
+    field = as_tensor(field)
+    raw_phase = as_tensor(raw_phase)
+    kernel = propagator.kernel
+    n = kernel.grid.n
+    _check_field(field, n)
+    if raw_phase.shape != (n, n):
+        raise ValueError(
+            f"raw phase shape {raw_phase.shape} does not match grid "
+            f"({n}, {n})"
+        )
+    if mask is not None:
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != (n, n):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match grid ({n}, {n})"
+            )
+    h, h_conj = _prescaled(kernel)
+    pad = kernel.pad
+    shape = field.shape
+
+    fields = field.data.reshape((-1, n, n))
+    propagated = _propagate_padded(fields, h, pad, n)
+
+    w = raw_phase.data
+    if parametrization == "sigmoid":
+        s = 1.0 / (1.0 + np.exp(-w))
+        phi = s * _TWO_PI
+    else:
+        s = None
+        phi = w
+    if mask is not None:
+        phi = phi * mask
+    modulation = np.exp(1j * phi)
+    out_flat = propagated * modulation
+    out = out_flat.reshape(shape)
+
+    def vjp_field(g):
+        g = np.asarray(g).reshape((-1, n, n))
+        grad = _propagate_padded(g * np.conj(modulation), h_conj, pad, n)
+        return grad.reshape(shape)
+
+    def vjp_phase(g):
+        g = np.asarray(g).reshape((-1, n, n))
+        grad = np.sum((np.conj(out_flat) * g).imag, axis=0)
+        if mask is not None:
+            grad = grad * mask
+        if s is not None:
+            grad = grad * (_TWO_PI * s * (1.0 - s))
+        return grad
+
+    return _build(out, [(field, vjp_field), (raw_phase, vjp_phase)])

@@ -57,6 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     table = sub.add_parser("table", help="reproduce a full paper table")
     add_scale_args(table)
+    table.add_argument(
+        "--max-workers", type=int, default=None,
+        help="fan recipes out across this many worker processes "
+             "(results are byte-identical to the serial run)",
+    )
 
     solvers = sub.add_parser("solvers",
                              help="compare 2-pi solvers on one mask")
@@ -93,7 +98,7 @@ def _cmd_recipe(args) -> int:
 
 
 def _cmd_table(args) -> int:
-    table = run_table(_config(args))
+    table = run_table(_config(args), max_workers=args.max_workers)
     print(format_table(table))
     print()
     print(format_comparison(table))

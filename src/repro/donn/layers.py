@@ -26,6 +26,7 @@ from typing import Optional
 import numpy as np
 
 from ..autodiff import Module, Parameter, Tensor
+from ..autodiff import fused as _fused
 from ..autodiff import ops
 from ..autodiff.rng import get_rng
 from ..optics import Propagator, SimulationGrid, wrap_phase
@@ -199,7 +200,24 @@ class DiffractiveLayer(Module):
     # Forward
     # ------------------------------------------------------------------
     def forward(self, field) -> Tensor:
-        """``DiffMod``: diffract the incoming field here, then modulate."""
+        """``DiffMod``: diffract the incoming field here, then modulate.
+
+        Runs the fused single-node fast path by default — the whole
+        pad/FFT/H-mul/IFFT/crop/sigmoid/exp/modulate chain in one NumPy
+        pass with a hand-derived analytic VJP (see
+        :mod:`repro.autodiff.fused`).  Opt out for debugging with
+        ``fused.set_fused_enabled(False)`` (or ``REPRO_FUSED=0``) to get
+        the composed per-op reference graph; gradients are identical
+        (test-enforced).
+        """
+        if _fused.fused_enabled():
+            return _fused.diffmod(
+                field,
+                self.phase,
+                self.propagator,
+                mask=self._sparsity_mask,
+                parametrization=self.parametrization,
+            )
         return self.propagator(field) * self.modulation()
 
     def forward_with_modulation(self, field, modulation: np.ndarray) -> Tensor:

@@ -17,6 +17,7 @@ import numpy as np
 from ..autodiff import Adam, Optimizer, Tensor
 from ..autodiff import functional as F
 from ..data.loaders import DataLoader
+from .evaluation import accuracy
 from .model import DONN
 
 __all__ = ["TrainingHistory", "Trainer"]
@@ -142,6 +143,7 @@ class Trainer:
         if epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {epochs}")
         history = TrainingHistory()
+        engine = None
         for epoch in range(epochs):
             metrics = self.train_epoch(train_loader)
             history.loss.append(metrics["loss"])
@@ -149,11 +151,14 @@ class Trainer:
             history.regularization_loss.append(metrics["regularization_loss"])
             history.train_accuracy.append(metrics["train_accuracy"])
             if test_loader is not None:
-                from .evaluation import accuracy
-
-                history.test_accuracy.append(
-                    accuracy(self.model, test_loader)
-                )
+                # One engine for the whole fit: ``refresh()`` re-reads
+                # the phases in place, keeping the cached kernels and
+                # scratch buffers instead of recompiling every epoch.
+                if engine is None:
+                    engine = self.model.inference_engine()
+                else:
+                    engine.refresh()
+                history.test_accuracy.append(accuracy(engine, test_loader))
             if verbose:
                 test_note = (
                     f" test_acc={history.test_accuracy[-1]:.3f}"

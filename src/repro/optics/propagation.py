@@ -28,6 +28,7 @@ from typing import Optional
 import numpy as np
 
 from ..autodiff import Tensor, as_tensor
+from ..autodiff import fused as _fused
 from ..autodiff import ops
 from ..autodiff.fft import fft2, ifft2
 from .grid import SimulationGrid
@@ -178,12 +179,24 @@ class Propagator:
         self._pad_pixels = self.kernel.pad
 
     def __call__(self, field) -> Tensor:
-        """Propagate ``field`` (shape ``(..., n, n)``), differentiably."""
+        """Propagate ``field`` (shape ``(..., n, n)``), differentiably.
+
+        Runs the fused single-node fast path by default (one pruned
+        NumPy pass forward, the exact ``conj(H)`` adjoint backward — see
+        :mod:`repro.autodiff.fused`); disable it to fall back to the
+        composed pad/fft2/mul/ifft2/crop reference graph.
+        """
         field = as_tensor(field)
         if field.shape[-1] != self.grid.n or field.shape[-2] != self.grid.n:
             raise ValueError(
                 f"field shape {field.shape} does not match grid n={self.grid.n}"
             )
+        if _fused.fused_enabled():
+            return _fused.propagate(field, self)
+        return self._composed(field)
+
+    def _composed(self, field: Tensor) -> Tensor:
+        """The per-op reference graph (kept for debugging/equivalence)."""
         pad = self._pad_pixels
         if pad:
             field = ops.pad2d(field, pad)

@@ -1,4 +1,13 @@
-"""Table runner: regenerate the paper's Tables II-V and Fig. 6 sweeps."""
+"""Table runner: regenerate the paper's Tables II-V and Fig. 6 sweeps.
+
+``run_table`` and ``run_sweep`` accept ``max_workers`` to fan their
+recipes out across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+Every recipe re-seeds the global RNG from its config at the start of
+:func:`~repro.pipeline.recipes.run_recipe`, so each result is a pure
+function of ``(recipe, config, data)`` — the parallel path is
+byte-identical to the serial one regardless of worker scheduling
+(test-enforced).
+"""
 
 from __future__ import annotations
 
@@ -66,19 +75,78 @@ class TableResult:
         return PAPER_TABLES[self.paper_dataset]
 
 
+#: Per-worker dataset stash: the (train, test) pair is shipped once per
+#: worker process via the pool initializer instead of once per task
+#: (paper-scale datasets are hundreds of MB; recipes share one split).
+_WORKER_DATA: Optional[Tuple[Dataset, Dataset]] = None
+
+
+def _init_worker(data: Tuple[Dataset, Dataset], fused_on: bool) -> None:
+    """Pool initializer: stash the shared dataset and mirror the parent's
+    fused-fast-path flag (spawn-based platforms re-import the package, so
+    a programmatic ``set_fused_enabled`` toggle would otherwise be lost —
+    and with it the byte-identical-to-serial guarantee)."""
+    global _WORKER_DATA
+    _WORKER_DATA = data
+    from ..autodiff import fused
+
+    fused.set_fused_enabled(fused_on)
+
+
+def _recipe_task(task: tuple) -> RecipeResult:
+    """Module-level worker so ProcessPoolExecutor can pickle it."""
+    recipe, config, verbose = task
+    return run_recipe(recipe, config, data=_WORKER_DATA, verbose=verbose)
+
+
+def _map_recipes(tasks: List[tuple], data: Tuple[Dataset, Dataset],
+                 max_workers: Optional[int]) -> List[RecipeResult]:
+    """Run ``(recipe, config, verbose)`` tasks over a shared ``data``
+    split, fanning out across worker processes when ``max_workers > 1``.
+
+    Results preserve task order.  Each worker receives the dataset and
+    the fused-path flag once (initializer), and ``run_recipe`` re-seeds
+    the global RNG deterministically, so results do not depend on which
+    process (or in what order) a recipe ran.
+    """
+    if max_workers is None or max_workers <= 1 or len(tasks) <= 1:
+        return [
+            run_recipe(recipe, config, data=data, verbose=verbose)
+            for recipe, config, verbose in tasks
+        ]
+    from concurrent.futures import ProcessPoolExecutor
+
+    from ..autodiff import fused
+
+    workers = min(int(max_workers), len(tasks))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(data, fused.fused_enabled()),
+    ) as pool:
+        futures = [pool.submit(_recipe_task, task) for task in tasks]
+        return [future.result() for future in futures]
+
+
 def run_table(
     config: ExperimentConfig,
     recipes: Sequence[str] = RECIPES,
     data: Optional[Tuple[Dataset, Dataset]] = None,
     verbose: bool = False,
+    max_workers: Optional[int] = None,
 ) -> TableResult:
-    """Run every requested recipe on one dataset (one paper table)."""
+    """Run every requested recipe on one dataset (one paper table).
+
+    ``max_workers > 1`` fans the recipes out across that many worker
+    processes (results are byte-identical to the serial path; see the
+    module docstring).
+    """
     if data is None:
         data = prepare_data(config)
-    results = [
-        run_recipe(recipe, config, data=data, verbose=verbose)
-        for recipe in recipes
-    ]
+    results = _map_recipes(
+        [(recipe, config, verbose) for recipe in recipes],
+        data, max_workers,
+    )
     return TableResult(config=config, results=results)
 
 
@@ -88,16 +156,18 @@ def run_sweep(
     values: Sequence[float],
     recipe: str = "ours_c",
     data: Optional[Tuple[Dataset, Dataset]] = None,
+    max_workers: Optional[int] = None,
 ) -> List[RecipeResult]:
     """Hyperparameter exploration (Fig. 6b-d): rerun ``recipe`` while
     varying one knob.
 
     ``parameter`` is one of ``"sparsity_ratio"``, ``"roughness_p"``,
-    ``"intra_q"``.
+    ``"intra_q"``.  ``max_workers > 1`` runs the sweep points in
+    parallel worker processes (deterministic; see the module docstring).
     """
     if data is None:
         data = prepare_data(config)
-    results = []
+    tasks = []
     for value in values:
         if parameter == "sparsity_ratio":
             varied = config.with_overrides(
@@ -113,8 +183,8 @@ def run_sweep(
                 f"unknown sweep parameter {parameter!r}; expected "
                 "'sparsity_ratio', 'roughness_p' or 'intra_q'"
             )
-        results.append(run_recipe(recipe, varied, data=data))
-    return results
+        tasks.append((recipe, varied, False))
+    return _map_recipes(tasks, data, max_workers)
 
 
 def _replace_slr(config: ExperimentConfig, **changes):

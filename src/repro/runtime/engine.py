@@ -108,13 +108,13 @@ class InferenceEngine:
             )
         self._pad = pads.pop()
         self._padded_n = sides.pop()
-        # Fold the per-hop ortho scaling (1/side per transform, two
-        # transforms per hop) into the kernel once, so the hot loop runs
-        # unscaled DFT passes: ifft_u(fft_u(x) * H/side^2) equals
-        # ifft_ortho(fft_ortho(x) * H) exactly.
-        scale = 1.0 / float(self._padded_n) ** 2
+        # The per-hop ortho scaling is folded into the shared kernel
+        # (``PropagationKernel.prescaled``), so the hot loop runs
+        # unscaled DFT passes; in double precision the prescaled array
+        # is shared as-is with every other engine and the fused
+        # training op (no copy).
         self._hs = [
-            np.asarray(kernel.h * scale, dtype=self._cdtype)
+            np.asarray(kernel.prescaled(), dtype=self._cdtype)
             for kernel in self._kernels
         ]
 
@@ -155,7 +155,12 @@ class InferenceEngine:
     ) -> "InferenceEngine":
         """Re-snapshot the layer modulations (e.g. after more training).
 
-        Returns ``self`` so it chains: ``engine.refresh().predict(x)``.
+        Cheap by design: when the engine already holds its padded
+        modulation planes (always, after construction) the new values
+        are written into them in place — kernels, scratch buffers and
+        the readout matrix are untouched, so per-epoch evaluation during
+        training does not rebuild anything.  Returns ``self`` so it
+        chains: ``engine.refresh().predict(x)``.
         """
         if modulations is None:
             modulations = self.model.modulations()
@@ -165,7 +170,7 @@ class InferenceEngine:
                 f"{len(self.model.layers)} layers"
             )
         n, pad, side = self.n, self._pad, self._padded_n
-        padded = []
+        checked = []
         for index, modulation in enumerate(modulations):
             modulation = np.asarray(modulation)
             if modulation.shape != (n, n):
@@ -173,13 +178,22 @@ class InferenceEngine:
                     f"modulation {index} has shape {modulation.shape}, "
                     f"expected ({n}, {n})"
                 )
+            checked.append(modulation)
+        # All inputs validated: from here the update cannot fail, so a
+        # rejected refresh never leaves the engine half-updated.
+        reuse = len(self._modulation_rows) == len(checked)
+        padded = self._modulation_rows if reuse else []
+        for index, modulation in enumerate(checked):
             # Only the interior rows of the padded plane are ever
             # touched (see ``_propagate_chunk``); zeros outside the
             # aperture columns fuse the autodiff path's
             # crop -> modulate -> re-pad into one in-place multiply.
-            rows = np.zeros((n, side), dtype=self._cdtype)
-            rows[:, pad:pad + n] = modulation
-            padded.append(rows)
+            if reuse:
+                padded[index][:, pad:pad + n] = modulation
+            else:
+                rows = np.zeros((n, side), dtype=self._cdtype)
+                rows[:, pad:pad + n] = modulation
+                padded.append(rows)
         self._modulation_rows = padded
         return self
 
@@ -221,6 +235,11 @@ class InferenceEngine:
         2`` that skips a quarter of all FFT work with bit-identical
         results.  Transforms run unscaled; the ortho normalization lives
         in the prescaled kernels (see ``__init__``).
+
+        The single-hop form of this pass also lives in
+        ``repro.autodiff.fused._propagate_padded`` (the training fast
+        path); a change to the pruning trick or the normalization
+        convention must be mirrored there.
         """
         batch = fields.shape[0]
         n, pad, side = self.n, self._pad, self._padded_n

@@ -77,6 +77,33 @@ class PropagationKernel:
     def padded_n(self) -> int:
         return self.h.shape[-1]
 
+    def prescaled(self) -> np.ndarray:
+        """``H / padded_n**2`` (read-only), computed once per kernel.
+
+        Folding the two per-hop ortho scalings into the kernel lets
+        consumers run unscaled DFT passes:
+        ``ifft_u(fft_u(x) * H/side^2) == ifft_ortho(fft_ortho(x) * H)``
+        exactly.  Shared by the inference engine's hot loop and the
+        fused training op, so the folding convention has one home.
+        """
+        cached = getattr(self, "_prescaled", None)
+        if cached is None:
+            scale = 1.0 / float(self.padded_n) ** 2
+            cached = np.asarray(self.h * scale)
+            cached.flags.writeable = False
+            object.__setattr__(self, "_prescaled", cached)
+        return cached
+
+    def prescaled_conj(self) -> np.ndarray:
+        """``conj(H) / padded_n**2`` (read-only) — the propagation
+        adjoint's kernel, used by the fused op's backward pass."""
+        cached = getattr(self, "_prescaled_conj", None)
+        if cached is None:
+            cached = np.conj(self.prescaled())
+            cached.flags.writeable = False
+            object.__setattr__(self, "_prescaled_conj", cached)
+        return cached
+
 
 def make_key(
     grid: SimulationGrid,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.autodiff import Adam, Tensor
+from repro.autodiff import Adam, Tensor, fused
 from repro.autodiff.rng import spawn_rng
 from repro.data import DataLoader, make_dataset
 from repro.donn import (
@@ -96,6 +96,60 @@ class TestTrainer:
         train, _ = make_dataset("digits", 20, 10, seed=5)
         with pytest.raises(ValueError):
             Trainer(model).fit(DataLoader(train, batch_size=10), epochs=0)
+
+    def test_fit_fused_matches_composed(self):
+        # The fused DiffMod fast path must not change training: identical
+        # seeds through both paths produce the same loss curves and the
+        # same per-epoch accuracies.
+        train, test = make_dataset("digits", 60, 30, seed=12)
+
+        def run(use_fused):
+            previous = fused.fused_enabled()
+            fused.set_fused_enabled(use_fused)
+            try:
+                model = small_model(seed=6)
+                trainer = Trainer(model, Adam(model.parameters(), lr=0.1))
+                loader = DataLoader(train, batch_size=30, seed=1)
+                test_loader = DataLoader(test, batch_size=30, shuffle=False)
+                return trainer.fit(loader, epochs=2,
+                                   test_loader=test_loader)
+            finally:
+                fused.set_fused_enabled(previous)
+
+        fast = run(True)
+        reference = run(False)
+        np.testing.assert_allclose(fast.loss, reference.loss,
+                                   rtol=0, atol=1e-9)
+        np.testing.assert_allclose(fast.classification_loss,
+                                   reference.classification_loss,
+                                   rtol=0, atol=1e-9)
+        np.testing.assert_allclose(fast.train_accuracy,
+                                   reference.train_accuracy,
+                                   rtol=0, atol=1e-12)
+        np.testing.assert_allclose(fast.test_accuracy,
+                                   reference.test_accuracy,
+                                   rtol=0, atol=1e-12)
+
+    def test_fit_reuses_one_engine_for_test_accuracy(self, monkeypatch):
+        # Per-epoch test scoring compiles one engine and refresh()es it
+        # instead of rebuilding from scratch every epoch.
+        train, test = make_dataset("digits", 40, 20, seed=13)
+        model = small_model(seed=7)
+        builds = []
+        original = DONN.inference_engine
+
+        def counting(self, **kwargs):
+            engine = original(self, **kwargs)
+            builds.append(engine)
+            return engine
+
+        monkeypatch.setattr(DONN, "inference_engine", counting)
+        trainer = Trainer(model)
+        loader = DataLoader(train, batch_size=20, seed=0)
+        test_loader = DataLoader(test, batch_size=20, shuffle=False)
+        history = trainer.fit(loader, epochs=3, test_loader=test_loader)
+        assert len(history.test_accuracy) == 3
+        assert len(builds) == 1
 
 
 class TestEvaluation:

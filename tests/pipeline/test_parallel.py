@@ -1,0 +1,72 @@
+"""Parallel table/sweep runner: worker-pool results must be byte-identical
+to the serial path (deterministic per-recipe seeding)."""
+
+import numpy as np
+
+from repro.pipeline import ExperimentConfig, prepare_data, run_sweep, run_table
+
+
+def tiny_cfg(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        n=20, n_train=40, n_test=20, batch_size=20, baseline_epochs=1,
+    )
+    defaults.update(overrides)
+    cfg = ExperimentConfig.laptop("digits", **defaults)
+    from dataclasses import replace
+
+    return cfg.with_overrides(
+        slr=replace(cfg.slr, outer_iterations=1, inner_epochs=1,
+                    finetune_epochs=1),
+        twopi=replace(cfg.twopi, iterations=10),
+    )
+
+
+def assert_results_identical(serial, parallel):
+    assert len(serial) == len(parallel)
+    for s, p in zip(serial, parallel):
+        assert s.recipe == p.recipe
+        assert s.accuracy == p.accuracy
+        assert s.roughness_before == p.roughness_before
+        assert s.roughness_after == p.roughness_after
+        assert s.sparsity == p.sparsity
+        for s_phase, p_phase in zip(s.model.phases(), p.model.phases()):
+            assert np.array_equal(s_phase, p_phase)
+        for s_sol, p_sol in zip(s.twopi_solutions, p.twopi_solutions):
+            assert np.array_equal(s_sol.offsets, p_sol.offsets)
+
+
+class TestRunTableParallel:
+    def test_matches_serial_byte_identical(self):
+        config = tiny_cfg()
+        data = prepare_data(config)
+        recipes = ("baseline", "ours_a")
+        serial = run_table(config, recipes=recipes, data=data)
+        parallel = run_table(config, recipes=recipes, data=data,
+                             max_workers=4)
+        assert_results_identical(serial.results, parallel.results)
+
+    def test_max_workers_one_is_serial(self):
+        config = tiny_cfg()
+        data = prepare_data(config)
+        table = run_table(config, recipes=("baseline",), data=data,
+                          max_workers=1)
+        assert [r.recipe for r in table.results] == ["baseline"]
+
+    def test_order_preserved(self):
+        config = tiny_cfg()
+        data = prepare_data(config)
+        recipes = ("ours_a", "baseline")
+        table = run_table(config, recipes=recipes, data=data, max_workers=2)
+        assert [r.recipe for r in table.results] == list(recipes)
+
+
+class TestRunSweepParallel:
+    def test_matches_serial_byte_identical(self):
+        config = tiny_cfg()
+        data = prepare_data(config)
+        values = (1e-5, 1e-4)
+        serial = run_sweep(config, "roughness_p", values, recipe="ours_a",
+                           data=data)
+        parallel = run_sweep(config, "roughness_p", values, recipe="ours_a",
+                             data=data, max_workers=2)
+        assert_results_identical(serial, parallel)

@@ -112,6 +112,23 @@ class TestEquivalence:
         fresh = engine.logits(images)
         assert np.abs(fresh - model.forward(images).data).max() < 1e-10
 
+    def test_refresh_reuses_modulation_planes_in_place(self, images):
+        model = DONN(DONNConfig.laptop(n=20), rng=spawn_rng(6))
+        engine = InferenceEngine(model)
+        planes_before = [id(rows) for rows in engine._modulation_rows]
+        engine.refresh()
+        assert [id(rows) for rows in engine._modulation_rows] == planes_before
+
+    def test_rejected_refresh_leaves_engine_intact(self, images):
+        # A failed refresh must not leave the in-place update half done.
+        model = DONN(DONNConfig.laptop(n=20), rng=spawn_rng(7))
+        engine = InferenceEngine(model)
+        reference = engine.logits(images)
+        good = np.exp(1j * np.ones((20, 20)))
+        with pytest.raises(ValueError):
+            engine.refresh(modulations=[good, good, np.ones((3, 3))])
+        assert np.array_equal(engine.logits(images), reference)
+
 
 class TestValidation:
     def test_bad_precision_rejected(self, model):
