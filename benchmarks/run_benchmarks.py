@@ -1,21 +1,25 @@
 #!/usr/bin/env python
-"""Snapshot the kernel and training benchmarks as perf trajectories.
+"""Snapshot the kernel, training and serving benchmarks as perf trajectories.
 
 Runs ``benchmarks/test_bench_kernels.py`` and
 ``benchmarks/test_bench_training.py`` under pytest-benchmark and condenses
-the timings into ``BENCH_kernels.json`` / ``BENCH_training.json``::
+the timings into ``BENCH_kernels.json`` / ``BENCH_training.json``; drives
+the ``repro.serve`` load generator directly (throughput benches are not
+repeated-timing micro-benchmarks) and writes ``BENCH_serving.json``::
 
-    python benchmarks/run_benchmarks.py [--only kernels|training]
+    python benchmarks/run_benchmarks.py [--only kernels|training|serving]
         [--kernels-output BENCH_kernels.json]
         [--training-output BENCH_training.json]
+        [--serving-output BENCH_serving.json]
 
-Each snapshot maps case names to mean/min/stddev wall time (seconds) and
-rounds, plus a ``summary`` block of speedup ratios — the engine-vs-autodiff
-inference speedups for the kernel snapshot, and the fused-vs-composed
-training-step speedups (per grid size, batch 32) for the training snapshot.
-These are the numbers future PRs compare against (see
-``docs/performance.md``).  Exit status is pytest's, so a wired-up CI job
-fails when a benchmark's correctness assertion breaks.
+Each snapshot maps case names to timings plus a ``summary`` block of
+speedup ratios — engine-vs-autodiff inference for the kernel snapshot,
+fused-vs-composed training steps for the training snapshot, and
+batched-vs-one-at-a-time serving throughput (with p50/p99 latency per
+case) for the serving snapshot.  These are the numbers future PRs
+compare against (see ``docs/performance.md`` and ``docs/serving.md``).
+Exit status is pytest's, so a wired-up CI job fails when a benchmark's
+correctness assertion breaks.
 """
 
 from __future__ import annotations
@@ -118,11 +122,70 @@ def run_bench_module(module: str, output: str, speedups: dict,
     return status
 
 
+def run_serving_bench(output: str, quick: bool = False) -> int:
+    """Drive the serving load generator and write its snapshot.
+
+    Unlike the pytest-benchmark groups this measures *throughput under
+    concurrent load*, so it calls :func:`repro.serve.benchmark_serving`
+    directly: the acceptance grid (n=20, double — the overhead-dominated
+    regime micro-batching exists for) plus an n=40 single-precision
+    context workload.  ``quick`` shrinks the request counts for CI
+    plumbing checks (numbers are written but not meaningful).
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    import tempfile
+
+    from repro.autodiff.rng import spawn_rng
+    from repro.donn import DONN, DONNConfig
+    from repro.serve import ModelStore, benchmark_serving, write_snapshot
+
+    scale = 16 if quick else 1
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ModelStore(tmp)
+        workloads = {}
+        # Acceptance grid: serve from a ModelStore artifact end-to-end.
+        artifact = store.save(
+            "bench-n20", DONN(DONNConfig.laptop(n=20), rng=spawn_rng(21))
+        )
+        workloads["n20_double"] = benchmark_serving(
+            artifact=artifact, n_requests=768 // scale, concurrency=64,
+            batch_sizes=(1, 8, 32), shard_counts=(1, 2), verbose=True,
+        )
+        # Context: at n=40 the engine is FFT-bound in double precision;
+        # single precision restores a batching margin.
+        artifact = store.save(
+            "bench-n40", DONN(DONNConfig.laptop(n=40), rng=spawn_rng(21))
+        )
+        workloads["n40_single"] = benchmark_serving(
+            artifact=artifact, n_requests=384 // scale, concurrency=64,
+            batch_sizes=(1, 32), shard_counts=(1, 2), precision="single",
+            verbose=True,
+        )
+    snapshot = {
+        "workloads": workloads,
+        "summary": {
+            f"{name}.{label}": value
+            for name, workload in workloads.items()
+            for label, value in workload["summary"].items()
+        },
+    }
+    write_snapshot(output, snapshot)
+    print(f"wrote {output}")
+    for label, value in sorted(snapshot["summary"].items()):
+        print(f"  {label}: {value:.2f}x")
+    accepted = snapshot["summary"].get("n20_double.batch32_vs_batch1", 0.0)
+    if not quick and accepted < 2.0:
+        print(f"ACCEPTANCE FAILED: batch-32 coalescing {accepted:.2f}x "
+              "< 2x over one-request-at-a-time", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
-        "--only", choices=("kernels", "training"), default=None,
-        help="snapshot just one bench group (default: both)",
+        "--only", choices=("kernels", "training", "serving"), default=None,
+        help="snapshot just one bench group (default: all)",
     )
     parser.add_argument(
         "--kernels-output", "--output", dest="kernels_output",
@@ -133,6 +196,16 @@ def main() -> int:
         "--training-output",
         default=os.path.join(REPO_ROOT, "benchmarks", "BENCH_training.json"),
         help="where to write the training snapshot",
+    )
+    parser.add_argument(
+        "--serving-output",
+        default=os.path.join(REPO_ROOT, "benchmarks", "BENCH_serving.json"),
+        help="where to write the serving snapshot",
+    )
+    parser.add_argument(
+        "--serving-quick", action="store_true",
+        help="shrink the serving workload to a plumbing check "
+             "(numbers written but not meaningful)",
     )
     args, pytest_args = parser.parse_known_args()
 
@@ -146,6 +219,10 @@ def main() -> int:
         status = run_bench_module(
             "test_bench_training.py", args.training_output,
             _TRAINING_SPEEDUPS, pytest_args,
+        ) or status
+    if args.only in (None, "serving"):
+        status = run_serving_bench(
+            args.serving_output, quick=args.serving_quick
         ) or status
     return status
 

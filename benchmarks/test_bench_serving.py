@@ -1,0 +1,104 @@
+"""Serving-stack benches: micro-batching and sharding throughput.
+
+Drives the full ``repro.serve`` stack (artifact -> sharded engines ->
+micro-batcher) with a closed-loop client pool and checks the headline
+claim: coalescing concurrent requests into batch-32 engine calls beats
+one-request-at-a-time serving by >= 2x at the laptop-quick scale (n=20,
+double precision), where per-call overhead — not FFT compute — dominates
+a single-sample engine call.
+
+``python benchmarks/run_benchmarks.py --only serving`` snapshots the
+full (batch size x shard count) grid, plus an n=40 single-precision
+context workload, to ``BENCH_serving.json`` (see ``docs/serving.md``
+for how to read it — including why thread shards are flat at laptop
+sizes).
+
+The full grid only runs when benchmarking is explicitly requested; a
+plain ``pytest`` sweep runs a smoke-scale pass that exercises the same
+code path without timing claims.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.autodiff.rng import spawn_rng
+from repro.donn import DONN, DONNConfig
+from repro.serve import benchmark_serving
+
+from .conftest import report
+
+#: The acceptance workload: small enough that a single-sample engine
+#: call is overhead-dominated — the regime micro-batching exists for.
+ACCEPTANCE_N = 20
+ACCEPTANCE_BATCH = 32
+
+
+def _serving_model(n=ACCEPTANCE_N):
+    return DONN(DONNConfig.laptop(n=n), rng=spawn_rng(21))
+
+
+def test_serving_stack_smoke():
+    """Cheap always-on pass over the whole grid machinery."""
+    snapshot = benchmark_serving(
+        model=_serving_model(), n_requests=48, concurrency=8,
+        batch_sizes=(1, 8), shard_counts=(1, 2), max_delay=0.002,
+    )
+    assert "server_batch1" in snapshot["cases"]
+    assert "server_batch8_shards2" in snapshot["cases"]
+    assert snapshot["cases"]["server_batch8"]["batcher"]["requests"] == 48
+    assert "batch8_vs_batch1" in snapshot["summary"]
+    for case in snapshot["cases"].values():
+        assert case["throughput_rps"] > 0
+        assert case["p50_ms"] <= case["p99_ms"] <= case["max_ms"]
+
+
+def test_bench_serving_acceptance(request):
+    explicitly_enabled = (
+        request.config.getoption("--benchmark-only")
+        or os.environ.get("REPRO_RUN_TABLE_BENCHES")
+    )
+    if not explicitly_enabled:
+        pytest.skip(
+            "serving throughput bench (enable with --benchmark-only or "
+            "REPRO_RUN_TABLE_BENCHES=1)"
+        )
+    snapshot = benchmark_serving(
+        model=_serving_model(), n_requests=768, concurrency=64,
+        batch_sizes=(1, 8, ACCEPTANCE_BATCH), shard_counts=(1, 2),
+    )
+    report("")
+    report(f"Serving throughput (n={ACCEPTANCE_N}, double, 64 clients):")
+    for label, case in snapshot["cases"].items():
+        report(f"  {label:<28} {case['throughput_rps']:>9.1f} req/s  "
+               f"p50 {case['p50_ms']:7.2f} ms  p99 {case['p99_ms']:7.2f} ms")
+    for label, value in sorted(snapshot["summary"].items()):
+        report(f"  {label}: {value:.2f}x")
+    speedup = snapshot["summary"][f"batch{ACCEPTANCE_BATCH}_vs_batch1"]
+    # The acceptance criterion: micro-batching >= 2x one-at-a-time.
+    assert speedup >= 2.0, (
+        f"batch-{ACCEPTANCE_BATCH} coalescing only {speedup:.2f}x over "
+        "one-request-at-a-time serving"
+    )
+    # Requests must never be answered from a stale or mixed batch: the
+    # sweep's own per-case batcher counters prove full coalescing ran.
+    batched = snapshot["cases"][f"server_batch{ACCEPTANCE_BATCH}"]
+    assert batched["batcher"]["max_batch"] == ACCEPTANCE_BATCH
+
+
+def test_served_predictions_equal_serial(tmp_path):
+    """The timing claims count only because results are unchanged:
+    artifact round trip + batched + sharded serving vs serial predict."""
+    from repro.serve import ModelStore, ServeConfig, Server
+
+    model = _serving_model()
+    images = spawn_rng(22).random((17, 28, 28))
+    serial = np.stack([model.predict(image[None])[0] for image in images])
+    store = ModelStore(tmp_path)
+    artifact = store.save("bench", model)
+    config = ServeConfig(max_batch=8, max_delay=0.002, shards=2)
+    with Server(artifact=artifact, config=config) as server:
+        futures = [server.submit("predict", image) for image in images]
+        served = np.stack([future.result() for future in futures])
+    assert np.array_equal(served, serial)

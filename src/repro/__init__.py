@@ -17,6 +17,7 @@ Subpackage guide:
 * :mod:`repro.data`     — synthetic MNIST/FMNIST/KMNIST/EMNIST-like datasets
 * :mod:`repro.pipeline` — the paper's experiment recipes and table harness
 * :mod:`repro.runtime`  — compiled inference fast path + shared kernel cache
+* :mod:`repro.serve`    — model artifacts + batched, sharded inference service
 """
 
 from . import (
@@ -27,6 +28,7 @@ from . import (
     pipeline,
     roughness,
     runtime,
+    serve,
     sparsify,
     twopi,
     utils,
@@ -42,6 +44,7 @@ __all__ = [
     "pipeline",
     "roughness",
     "runtime",
+    "serve",
     "sparsify",
     "twopi",
     "utils",

@@ -2,14 +2,18 @@
 
 Commands
 --------
-* ``quickstart`` — train a small DONN and print accuracy/roughness;
-* ``recipe``     — run one of the paper's recipes (baseline, ours_a..d);
-* ``table``      — reproduce a full paper table (five recipes);
-* ``solvers``    — compare the 2-pi solvers (Gumbel-Softmax vs greedy)
-  on a trained, sparsified mask.
+* ``quickstart``  — train a small DONN and print accuracy/roughness;
+* ``recipe``      — run one of the paper's recipes (baseline, ours_a..d);
+* ``table``       — reproduce a full paper table (five recipes);
+* ``solvers``     — compare the 2-pi solvers (Gumbel-Softmax vs greedy)
+  on a trained, sparsified mask;
+* ``serve``       — expose a saved model artifact over HTTP/JSON
+  (micro-batched, optionally sharded — see ``docs/serving.md``);
+* ``bench-serve`` — load-test the serving stack (throughput, p50/p99).
 
-Every command accepts ``--n/--train/--epochs/--seed`` so runs scale from
-smoke tests to full experiments.
+Training commands accept ``--n/--train/--epochs/--seed`` so runs scale
+from smoke tests to full experiments, and ``--save`` to persist the
+trained model as a self-contained artifact the serving commands consume.
 """
 
 from __future__ import annotations
@@ -48,11 +52,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--epochs", type=int, default=10)
         p.add_argument("--seed", type=int, default=0)
 
+    def add_save_arg(p):
+        p.add_argument(
+            "--save", metavar="PATH", default=None,
+            help="persist the trained model as a self-contained artifact "
+                 "(.npz) for `repro serve` / `repro bench-serve`",
+        )
+
     quick = sub.add_parser("quickstart", help="train a small DONN")
     add_scale_args(quick)
+    add_save_arg(quick)
 
     recipe = sub.add_parser("recipe", help="run one paper recipe")
     add_scale_args(recipe)
+    add_save_arg(recipe)
     recipe.add_argument("--recipe", choices=RECIPES, default="ours_c")
 
     table = sub.add_parser("table", help="reproduce a full paper table")
@@ -66,6 +79,45 @@ def build_parser() -> argparse.ArgumentParser:
     solvers = sub.add_parser("solvers",
                              help="compare 2-pi solvers on one mask")
     add_scale_args(solvers)
+
+    def add_serve_args(p, model_required=True):
+        p.add_argument("--model", required=model_required, metavar="PATH",
+                       help="model artifact saved with --save / ModelStore")
+        p.add_argument("--precision", choices=("single", "double"),
+                       default="double")
+        p.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batching flush size")
+        p.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="max milliseconds a lone request waits to be "
+                            "coalesced")
+        p.add_argument("--shards", type=int, default=1,
+                       help="engine workers (each holds one engine)")
+        p.add_argument("--backend", choices=("thread", "process"),
+                       default="thread")
+
+    serve = sub.add_parser(
+        "serve", help="serve a model artifact over HTTP/JSON"
+    )
+    add_serve_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="0 binds an ephemeral port")
+
+    bench = sub.add_parser(
+        "bench-serve",
+        help="load-test the serving stack (throughput, p50/p99 latency)",
+    )
+    add_serve_args(bench, model_required=False)
+    bench.add_argument("--requests", type=int, default=512)
+    bench.add_argument("--concurrency", type=int, default=64)
+    bench.add_argument("--url", default=None, metavar="URL",
+                       help="load-test a live `repro serve` endpoint over "
+                            "HTTP instead of an in-process server")
+    bench.add_argument("--check", action="store_true",
+                       help="verify served predictions are byte-identical "
+                            "to a serial engine before timing")
+    bench.add_argument("--output", default=None, metavar="JSON",
+                       help="write the stats snapshot here")
     return parser
 
 
@@ -80,11 +132,27 @@ def _config(args) -> ExperimentConfig:
     )
 
 
+def _save_result(args, result, recipe: str) -> None:
+    """Persist a trained recipe result when ``--save`` was given."""
+    if getattr(args, "save", None) is None:
+        return
+    path = result.model.save(args.save, metadata={
+        "recipe": recipe,
+        "family": args.family,
+        "accuracy": result.accuracy,
+        "roughness_before": result.roughness_before,
+        "roughness_after": result.roughness_after,
+        "seed": args.seed,
+    })
+    print(f"saved model artifact: {path}")
+
+
 def _cmd_quickstart(args) -> int:
     result = run_recipe("baseline", _config(args))
     print(f"accuracy          : {result.accuracy * 100:.2f}%")
     print(f"R_overall (pre/post 2pi): {result.roughness_before:.2f} / "
           f"{result.roughness_after:.2f}")
+    _save_result(args, result, "baseline")
     return 0
 
 
@@ -94,6 +162,7 @@ def _cmd_recipe(args) -> int:
           f"R_pre {result.roughness_before:.2f}  "
           f"R_post {result.roughness_after:.2f}  "
           f"sparsity {result.sparsity * 100:.0f}%")
+    _save_result(args, result, args.recipe)
     return 0
 
 
@@ -124,11 +193,122 @@ def _cmd_solvers(args) -> int:
     return 0
 
 
+def _serve_config(args, host=None, port=None):
+    from .serve import ServeConfig
+
+    kwargs = dict(
+        precision=args.precision,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1e3,
+        shards=args.shards,
+        backend=args.backend,
+    )
+    if host is not None:
+        kwargs["host"] = host
+    if port is not None:
+        kwargs["port"] = port
+    return ServeConfig(**kwargs)
+
+
+def _cmd_serve(args) -> int:
+    from .serve import Server, resolve_artifact
+
+    artifact = resolve_artifact(args.model)
+    server = Server(artifact=artifact,
+                    config=_serve_config(args, args.host, args.port))
+    with server:
+        server.warmup()
+        frontend = server.serve_http()
+        info = server.info()["model"]["config"]
+        print(f"serving {artifact} "
+              f"(n={info['n']}, {info['num_layers']} layers) at "
+              f"{frontend.url}")
+        print(f"  precision={args.precision} max_batch={args.max_batch} "
+              f"shards={args.shards} backend={args.backend}")
+        print("  POST /v1/predict | /v1/logits | /v1/intensity ; "
+              "GET /healthz | /v1/model   (Ctrl-C stops)")
+        try:
+            # The frontend already accepts on its own thread; just park
+            # the main thread until interrupted (Server.stop on exit
+            # shuts the accept loop down cleanly).  time.sleep is
+            # reliably interruptible by SIGINT, unlike a bare lock wait.
+            import time
+
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\nshutting down")
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    import numpy as np
+
+    from .serve import (
+        Server,
+        http_sender,
+        resolve_artifact,
+        run_load,
+        write_snapshot,
+    )
+
+    rng = np.random.default_rng(0)
+    samples = rng.random((64, 28, 28))
+
+    if args.url is not None:
+        if args.check:
+            print("--check needs an in-process server: pass --model "
+                  "instead of --url", file=sys.stderr)
+            return 2
+        send = http_sender(args.url)
+        stats = run_load(send, samples, args.requests, args.concurrency)
+        snapshot = {"target": args.url, "load": stats}
+    else:
+        if args.model is None:
+            print("bench-serve needs --model (or --url for a live server)",
+                  file=sys.stderr)
+            return 2
+        artifact = resolve_artifact(args.model)
+        with Server(artifact=artifact, config=_serve_config(args)) as server:
+            server.warmup()
+            if args.check:
+                from .utils.serialization import load_model
+
+                reference = load_model(artifact).inference_engine(
+                    precision=args.precision
+                )
+                served = server.predict(samples)
+                expected = np.stack([
+                    reference.predict(sample[None])[0] for sample in samples
+                ])
+                if not np.array_equal(served, expected):
+                    print("CHECK FAILED: served predictions differ from "
+                          "serial engine", file=sys.stderr)
+                    return 1
+                print("check: served predictions byte-identical to serial "
+                      "engine")
+            send = (lambda sample:
+                    server.submit("predict", sample).result())
+            stats = run_load(send, samples, args.requests, args.concurrency)
+            stats["batcher"] = server.stats()["batcher"]
+            snapshot = {"target": str(artifact), "load": stats}
+    print(f"{stats['requests']} requests, concurrency "
+          f"{stats['concurrency']}: {stats['throughput_rps']} req/s  "
+          f"p50 {stats['p50_ms']} ms  p90 {stats['p90_ms']} ms  "
+          f"p99 {stats['p99_ms']} ms")
+    if args.output:
+        write_snapshot(args.output, snapshot)
+        print(f"wrote {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "quickstart": _cmd_quickstart,
     "recipe": _cmd_recipe,
     "table": _cmd_table,
     "solvers": _cmd_solvers,
+    "serve": _cmd_serve,
+    "bench-serve": _cmd_bench_serve,
 }
 
 

@@ -246,3 +246,26 @@ class DONN(Module):
         with no_grad():
             return [np.asarray(layer.modulation().data)
                     for layer in self.layers]
+
+    # ------------------------------------------------------------------
+    # Persistence (the serving artifact format)
+    # ------------------------------------------------------------------
+    def save(self, path, metadata=None):
+        """Persist this model as a self-contained, versioned artifact.
+
+        Stores the full config (geometry, detector layout,
+        parametrization), the *raw* parameter arrays (so a reload is
+        bit-identical — 0 ULP, test-enforced) and any sparsity masks.
+        Returns the written path; reload with :meth:`DONN.load` or serve
+        it via :class:`repro.serve.ModelStore`.
+        """
+        from ..utils.serialization import save_model
+
+        return save_model(path, self, metadata=metadata)
+
+    @classmethod
+    def load(cls, path) -> "DONN":
+        """Rebuild a model from a :meth:`save` artifact (no other inputs)."""
+        from ..utils.serialization import load_model
+
+        return load_model(path)

@@ -1,0 +1,45 @@
+"""Production-style DONN serving: artifacts, batching, sharding, HTTP.
+
+The serving story on top of :mod:`repro.runtime`:
+
+* :class:`ModelStore` — named, versioned, *self-contained* model
+  artifacts on disk (full geometry + detector spec + bit-exact weights);
+  ``store.engine(name)`` goes from disk to a compiled
+  :class:`~repro.runtime.InferenceEngine` in one call.
+* :class:`MicroBatcher` — an asyncio request queue that coalesces
+  concurrent single-sample requests into engine-sized batches
+  (``max_batch`` / ``max_delay`` flush policy); coalesced predictions
+  are byte-identical to per-request ones.
+* :class:`ShardedPool` — N workers (threads or processes), each holding
+  one engine, least-loaded dispatch, shard-count-invariant results.
+* :class:`Server` — the programmatic API tying the three together, plus
+  :class:`HTTPFrontend`, a stdlib HTTP/JSON entry point
+  (``repro serve`` on the command line).
+* :mod:`repro.serve.bench` — the load generator behind
+  ``repro bench-serve`` and ``benchmarks/BENCH_serving.json``.
+
+See ``docs/serving.md`` for the architecture and the artifact format.
+"""
+
+from .batching import BatcherStats, MicroBatcher
+from .bench import benchmark_serving, http_sender, run_load, write_snapshot
+from .http import HTTPFrontend
+from .server import ServeConfig, Server
+from .store import ModelStore, resolve_artifact
+from .workers import REQUEST_KINDS, ShardedPool
+
+__all__ = [
+    "ModelStore",
+    "resolve_artifact",
+    "MicroBatcher",
+    "BatcherStats",
+    "ShardedPool",
+    "REQUEST_KINDS",
+    "Server",
+    "ServeConfig",
+    "HTTPFrontend",
+    "benchmark_serving",
+    "http_sender",
+    "run_load",
+    "write_snapshot",
+]

@@ -1,0 +1,262 @@
+"""Micro-batching frontend: coalesce concurrent requests into batches.
+
+A DONN engine amortizes per-call overhead (Python dispatch, scratch
+setup, FFT passes' fixed cost) across the batch axis, so serving one
+request per engine call throws most of the throughput away.
+:class:`MicroBatcher` is the request queue in front of a
+:class:`~repro.serve.workers.ShardedPool`: concurrent single-sample
+requests accumulate until either ``max_batch`` of them are waiting or
+the oldest has waited ``max_delay`` seconds, then the whole group runs
+as one engine batch and each caller gets its own row back.
+
+The queue is deliberately split across two planes so the per-request
+cost stays at "one lock, one future":
+
+* the **hot path** (:meth:`submit_nowait`) runs on the *caller's*
+  thread — append under a mutex, flush inline the moment a group
+  reaches ``max_batch``, deliver rows straight from the worker's
+  done-callback.  No event-loop hop per request.
+* the **timer plane** is an asyncio loop: the first request of a group
+  arms ``loop.call_later(max_delay)`` (one loop wake-up per batch, not
+  per request), which flushes whatever is still waiting when it fires.
+  The coroutine API (:meth:`submit`) is a thin ``wrap_future`` over the
+  hot path for async callers.
+
+Correctness: every per-sample stage of the engine (amplitude encoding,
+the per-sample 2-D FFT passes, the modulation multiply, the detector
+argmax) is independent of the batch axis, so a coalesced ``predict`` is
+byte-identical to running each request alone — the contract that makes
+batching transparent to clients (test-enforced across batch boundaries
+in both precisions).
+
+Requests are grouped by ``(kind, shape, dtype-kind)``: a raw 28 x 28
+image and a pre-encoded complex field never land in the same stack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Future, InvalidStateError
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .workers import REQUEST_KINDS
+
+__all__ = ["MicroBatcher", "BatcherStats"]
+
+
+class BatcherStats:
+    """Counters describing how well coalescing is working."""
+
+    __slots__ = ("requests", "batches", "rows", "max_batch_seen",
+                 "full_flushes", "timer_flushes", "drain_flushes")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.batches = 0
+        self.rows = 0
+        self.max_batch_seen = 0
+        self.full_flushes = 0
+        self.timer_flushes = 0
+        self.drain_flushes = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        mean = self.rows / self.batches if self.batches else 0.0
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "mean_batch": round(mean, 3),
+            "max_batch": self.max_batch_seen,
+            "full_flushes": self.full_flushes,
+            "timer_flushes": self.timer_flushes,
+            "drain_flushes": self.drain_flushes,
+        }
+
+
+#: One waiting request: its payload and the future its row resolves.
+_Pending = Tuple[np.ndarray, Future]
+
+
+class MicroBatcher:
+    """Coalesce single-sample requests into engine-sized batches.
+
+    Parameters
+    ----------
+    pool:
+        Anything with ``submit(kind, fields) -> concurrent Future`` —
+        in production a :class:`~repro.serve.workers.ShardedPool`.
+    loop:
+        A *running* asyncio event loop used for the max-latency timers
+        (:class:`~repro.serve.server.Server` owns one on a background
+        thread).  Requests themselves never block on the loop.
+    max_batch:
+        Flush as soon as this many requests of one group are waiting.
+    max_delay:
+        Seconds the *first* request of a group may wait before the group
+        is flushed regardless of size — the latency cost a lone request
+        pays for the chance of being coalesced.  ``0`` still coalesces
+        requests that arrive while a flush is already in flight.
+    """
+
+    def __init__(self, pool, loop: asyncio.AbstractEventLoop,
+                 max_batch: int = 32, max_delay: float = 0.002) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self.pool = pool
+        self.loop = loop
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self.stats = BatcherStats()
+        self._lock = threading.Lock()
+        self._pending: Dict[tuple, List[_Pending]] = {}
+        self._timers: Dict[tuple, object] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Hot path (any thread)
+    # ------------------------------------------------------------------
+    def submit_nowait(self, kind: str, sample) -> Future:
+        """Enqueue one sample; the returned future resolves to its row
+        of the coalesced result."""
+        if kind not in REQUEST_KINDS:
+            raise ValueError(
+                f"unknown request kind {kind!r}; expected one of "
+                f"{REQUEST_KINDS}"
+            )
+        sample = np.asarray(sample)
+        if sample.ndim != 2:
+            raise ValueError(
+                f"batched requests are single samples (2-D), got shape "
+                f"{sample.shape}"
+            )
+        future: Future = Future()
+        key = (kind, sample.shape, sample.dtype.kind)
+        flush_now = None
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            group = self._pending.setdefault(key, [])
+            group.append((sample, future))
+            self.stats.requests += 1
+            if len(group) >= self.max_batch:
+                self.stats.full_flushes += 1
+                flush_now = self._take(key)
+            elif len(group) == 1:
+                self.loop.call_soon_threadsafe(self._arm_timer, key)
+        if flush_now is not None:
+            self._dispatch(key[0], flush_now)
+        return future
+
+    async def submit(self, kind: str, sample) -> np.ndarray:
+        """Coroutine flavor of :meth:`submit_nowait` (same semantics)."""
+        return await asyncio.wrap_future(self.submit_nowait(kind, sample))
+
+    # ------------------------------------------------------------------
+    # Timer plane (event-loop thread)
+    # ------------------------------------------------------------------
+    def _arm_timer(self, key: tuple) -> None:
+        if key in self._timers:
+            return  # an earlier incarnation's timer is still live; reuse
+        if self.max_delay == 0.0:
+            handle = self.loop.call_soon(self._timer_fired, key)
+        else:
+            handle = self.loop.call_later(self.max_delay, self._timer_fired,
+                                          key)
+        self._timers[key] = handle
+
+    def _timer_fired(self, key: tuple) -> None:
+        with self._lock:
+            self._timers.pop(key, None)
+            taken = self._take(key) if self._pending.get(key) else None
+            if taken is not None:
+                self.stats.timer_flushes += 1
+        if taken is not None:
+            self._dispatch(key[0], taken)
+
+    # ------------------------------------------------------------------
+    # Flush & delivery
+    # ------------------------------------------------------------------
+    def _take(self, key: tuple) -> List[_Pending]:
+        """Pop a group for dispatch (caller holds the lock)."""
+        group = self._pending.pop(key)
+        self.stats.batches += 1
+        self.stats.rows += len(group)
+        self.stats.max_batch_seen = max(self.stats.max_batch_seen,
+                                        len(group))
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            # Cancelling from a foreign thread is safe for a handle that
+            # only mutates loop-internal state; a lost race just means
+            # one early (smaller) flush of the next group, never an
+            # incorrect result.
+            timer.cancel()
+        return group
+
+    def _dispatch(self, kind: str, group: List[_Pending]) -> None:
+        batch = np.stack([sample for sample, _ in group])
+        futures = [future for _, future in group]
+
+        def _resolve(future: Future, value, exc) -> None:
+            # A caller may have cancelled its future (e.g. an asyncio
+            # timeout through ``wrap_future``); that must never poison
+            # the rest of the batch, so the already-resolved case is
+            # swallowed per future.
+            try:
+                if exc is not None:
+                    future.set_exception(exc)
+                else:
+                    future.set_result(value)
+            except InvalidStateError:
+                pass
+
+        try:
+            pool_future = self.pool.submit(kind, batch)
+        except BaseException as exc:  # noqa: BLE001 — forwarded
+            for future in futures:
+                _resolve(future, None, exc)
+            return
+
+        def _deliver(done) -> None:
+            # Runs on the worker thread; concurrent futures are
+            # thread-safe to resolve from here.
+            try:
+                result = np.asarray(done.result())
+            except BaseException as exc:  # noqa: BLE001 — forwarded
+                for future in futures:
+                    _resolve(future, None, exc)
+                return
+            for row, future in enumerate(futures):
+                _resolve(future, result[row], None)
+
+        pool_future.add_done_callback(_deliver)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Flush every waiting group immediately (shutdown path)."""
+        with self._lock:
+            taken = [
+                (key[0], self._take(key)) for key in list(self._pending)
+            ]
+            self.stats.drain_flushes += len(taken)
+        for kind, group in taken:
+            self._dispatch(kind, group)
+
+    def close(self) -> None:
+        """Refuse new requests and flush what is waiting."""
+        with self._lock:
+            self._closed = True
+        self.drain()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            waiting = sum(len(g) for g in self._pending.values())
+        return (
+            f"MicroBatcher(max_batch={self.max_batch}, "
+            f"max_delay={self.max_delay}, pending={waiting})"
+        )

@@ -1,0 +1,246 @@
+"""Load generation for the serving stack: throughput and tail latency.
+
+:func:`run_load` drives any single-sample ``send`` callable with a
+closed-loop pool of client threads (each sends its next request as soon
+as the previous one answers) and reports throughput plus p50/p90/p99
+latency.  :func:`benchmark_serving` sweeps the micro-batching /
+sharding grid over one model and condenses everything into the
+``BENCH_serving.json`` snapshot schema (see ``docs/serving.md``):
+each case carries its own latency percentiles, the ``summary`` block
+holds the speedup ratios future PRs compare against, and a serial
+one-request-at-a-time engine loop anchors the baseline.
+
+Also home to :func:`http_sender`, which turns a server URL into a
+``send`` callable so ``repro bench-serve --url`` can load-test a live
+deployment over the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from .server import ServeConfig, Server
+
+__all__ = ["run_load", "benchmark_serving", "http_sender", "write_snapshot"]
+
+
+def _latency_stats(latencies_s: List[float], elapsed_s: float,
+                   concurrency: int) -> Dict[str, float]:
+    lat = np.asarray(latencies_s) * 1e3
+    return {
+        "requests": int(lat.size),
+        "concurrency": int(concurrency),
+        "elapsed_s": round(elapsed_s, 6),
+        "throughput_rps": round(lat.size / elapsed_s, 3),
+        "mean_ms": round(float(lat.mean()), 4),
+        "p50_ms": round(float(np.percentile(lat, 50)), 4),
+        "p90_ms": round(float(np.percentile(lat, 90)), 4),
+        "p99_ms": round(float(np.percentile(lat, 99)), 4),
+        "max_ms": round(float(lat.max()), 4),
+    }
+
+
+def run_load(
+    send: Callable[[np.ndarray], object],
+    samples: Sequence[np.ndarray],
+    n_requests: int,
+    concurrency: int = 8,
+) -> Dict[str, float]:
+    """Closed-loop load test: ``concurrency`` clients, one request each
+    in flight, ``n_requests`` total, cycling through ``samples``.
+
+    Returns throughput + latency percentiles.  Any exception raised by
+    ``send`` aborts the run and propagates (a load test that silently
+    drops errors measures nothing).
+    """
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    concurrency = max(1, min(int(concurrency), int(n_requests)))
+    counter = iter(range(n_requests))
+    counter_lock = threading.Lock()
+    latencies: List[List[float]] = [[] for _ in range(concurrency)]
+    errors: List[BaseException] = []
+
+    def client(slot: int) -> None:
+        while True:
+            with counter_lock:
+                index = next(counter, None)
+            if index is None or errors:
+                return
+            sample = samples[index % len(samples)]
+            begin = time.perf_counter()
+            try:
+                send(sample)
+            except BaseException as exc:  # noqa: BLE001 — reported below
+                errors.append(exc)
+                return
+            latencies[slot].append(time.perf_counter() - begin)
+
+    threads = [threading.Thread(target=client, args=(slot,))
+               for slot in range(concurrency)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    flat = [value for per_client in latencies for value in per_client]
+    return _latency_stats(flat, elapsed, concurrency)
+
+
+def http_sender(url: str, route: str = "/v1/predict",
+                timeout: float = 30.0) -> Callable[[np.ndarray], object]:
+    """A ``send`` callable POSTing single samples to a live server."""
+    import urllib.request
+
+    endpoint = url.rstrip("/") + route
+
+    def send(sample: np.ndarray):
+        body = json.dumps({"inputs": np.asarray(sample).tolist()})
+        request = urllib.request.Request(
+            endpoint, data=body.encode("utf-8"),
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read())
+
+    return send
+
+
+def benchmark_serving(
+    model=None,
+    artifact=None,
+    n_requests: int = 512,
+    concurrency: int = 32,
+    batch_sizes: Iterable[int] = (1, 8, 32),
+    shard_counts: Iterable[int] = (1, 2),
+    backend: str = "thread",
+    precision: str = "double",
+    max_delay: float = 0.005,
+    image_size: int = 28,
+    distinct_images: int = 64,
+    seed: int = 0,
+    kind: str = "predict",
+    verbose: bool = False,
+) -> Dict[str, object]:
+    """Sweep the (batch size x shard count) grid; return the snapshot.
+
+    The grid runs batch sizes at 1 shard, then shard counts at the
+    largest batch size.  ``serial_engine_loop`` — a bare
+    one-request-at-a-time ``engine.predict`` loop with no serving stack
+    at all — is the honest baseline; ``server_batch1`` is the same
+    workload through a non-coalescing server (every request its own
+    engine call).
+    """
+    batch_sizes = sorted(set(int(b) for b in batch_sizes))
+    shard_counts = sorted(set(int(s) for s in shard_counts))
+    rng = np.random.default_rng(seed)
+    samples = rng.random((distinct_images, image_size, image_size))
+
+    def note(message: str) -> None:
+        if verbose:
+            print(message, flush=True)
+
+    cases: Dict[str, Dict[str, object]] = {}
+
+    # -- Baseline: one-at-a-time engine calls, no serving stack at all.
+    if model is None:
+        from ..utils.serialization import load_model
+
+        base_model = load_model(artifact)
+    else:
+        base_model = model
+    engine = base_model.inference_engine(precision=precision)
+    engine.predict(samples[:1])  # allocation warm-up
+    start = time.perf_counter()
+    lat: List[float] = []
+    for index in range(n_requests):
+        begin = time.perf_counter()
+        engine.predict(samples[index % len(samples)][None])
+        lat.append(time.perf_counter() - begin)
+    cases["serial_engine_loop"] = _latency_stats(
+        lat, time.perf_counter() - start, concurrency=1
+    )
+    note(f"serial_engine_loop: "
+         f"{cases['serial_engine_loop']['throughput_rps']} rps")
+
+    # -- The serving grid.
+    grid = [(batch, 1) for batch in batch_sizes]
+    grid += [(batch_sizes[-1], s) for s in shard_counts if s != 1]
+    for batch, shards in grid:
+        label = f"server_batch{batch}" + (
+            f"_shards{shards}" if shards != 1 else ""
+        )
+        config = ServeConfig(
+            precision=precision, max_batch=batch, max_delay=max_delay,
+            shards=shards, backend=backend,
+        )
+        with Server(model=model, artifact=artifact, config=config) as server:
+            server.warmup()
+            send = lambda sample: server.submit(kind, sample).result()  # noqa: E731
+            stats = run_load(send, samples, n_requests, concurrency)
+            stats["batcher"] = server.stats()["batcher"]
+            stats["shards"] = shards
+            stats["max_batch"] = batch
+        cases[label] = stats
+        note(f"{label}: {stats['throughput_rps']} rps "
+             f"(p50 {stats['p50_ms']} ms, p99 {stats['p99_ms']} ms, "
+             f"mean batch {stats['batcher']['mean_batch']})")
+
+    summary: Dict[str, float] = {}
+
+    def ratio(numerator: str, denominator: str) -> Optional[float]:
+        if numerator in cases and denominator in cases:
+            return round(
+                cases[numerator]["throughput_rps"]
+                / cases[denominator]["throughput_rps"], 3
+            )
+        return None
+
+    top = f"server_batch{batch_sizes[-1]}"
+    for batch in batch_sizes[1:]:
+        value = ratio(f"server_batch{batch}", "server_batch1")
+        if value is not None:
+            summary[f"batch{batch}_vs_batch1"] = value
+    value = ratio(top, "serial_engine_loop")
+    if value is not None:
+        summary[f"batch{batch_sizes[-1]}_vs_serial_loop"] = value
+    for shards in shard_counts:
+        if shards == 1:
+            continue
+        value = ratio(f"{top}_shards{shards}", top)
+        if value is not None:
+            summary[f"shards{shards}_vs_shards1_batch{batch_sizes[-1]}"] = value
+
+    return {
+        "workload": {
+            "n_requests": n_requests,
+            "concurrency": concurrency,
+            "kind": kind,
+            "image_size": image_size,
+            "distinct_images": distinct_images,
+            "backend": backend,
+            "precision": precision,
+            "max_delay": max_delay,
+            "model_n": int(base_model.config.n),
+            "num_layers": len(base_model.layers),
+            "seed": seed,
+        },
+        "cases": cases,
+        "summary": summary,
+    }
+
+
+def write_snapshot(path: Union[str, Path], snapshot: Dict[str, object]) -> None:
+    """Write one benchmark snapshot as stable, diff-friendly JSON."""
+    with open(Path(path), "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")

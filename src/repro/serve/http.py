@@ -1,0 +1,186 @@
+"""Stdlib HTTP/JSON entry point over a running :class:`~repro.serve.Server`.
+
+No framework, no dependency: :class:`HTTPFrontend` is a
+``ThreadingHTTPServer`` whose handler threads block on the programmatic
+API — which routes through the micro-batcher, so concurrent HTTP clients
+are coalesced into engine batches exactly like programmatic callers.
+
+Endpoints
+---------
+``GET  /healthz``        liveness + batcher/pool counters
+``GET  /v1/model``       artifact + deployment description
+``POST /v1/predict``     ``{"inputs": <2-D sample or 3-D batch>}`` -> labels
+``POST /v1/logits``      same request shape -> per-class logits
+``POST /v1/intensity``   same request shape -> detector-plane intensity
+
+Raw images may be any resolution (they go through the model's amplitude
+encoder); pre-encoded complex fields are sent as
+``{"inputs": <real part>, "inputs_imag": <imag part>}`` with shape
+``(n, n)`` / ``(batch, n, n)``.  Errors come back as
+``{"error": "..."}`` with a 4xx/5xx status.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["HTTPFrontend"]
+
+#: POST route -> (request kind, response field name).
+_ROUTES = {
+    "/v1/predict": ("predict", "predictions"),
+    "/v1/logits": ("logits", "logits"),
+    "/v1/intensity": ("intensity_map", "intensity"),
+}
+
+_MAX_BODY = 64 * 1024 * 1024  # refuse absurd request bodies outright
+
+
+class _BadRequest(ValueError):
+    """A client error that should produce a 400, not a 500."""
+
+
+def _parse_inputs(payload: dict) -> np.ndarray:
+    if not isinstance(payload, dict) or "inputs" not in payload:
+        raise _BadRequest('request body must be {"inputs": ...}')
+    try:
+        inputs = np.asarray(payload["inputs"], dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise _BadRequest(f"inputs are not a numeric array: {exc}") from exc
+    if "inputs_imag" in payload:
+        try:
+            imag = np.asarray(payload["inputs_imag"], dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise _BadRequest(
+                f"inputs_imag is not a numeric array: {exc}"
+            ) from exc
+        if imag.shape != inputs.shape:
+            raise _BadRequest(
+                f"inputs_imag shape {imag.shape} does not match inputs "
+                f"shape {inputs.shape}"
+            )
+        inputs = inputs + 1j * imag
+    if inputs.ndim not in (2, 3):
+        raise _BadRequest(
+            f"inputs must be a 2-D sample or a 3-D batch, got shape "
+            f"{inputs.shape}"
+        )
+    return inputs
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the serving ``Server`` hangs off the HTTP server."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass  # request logging is the operator's job, not stderr's
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _app(self):
+        return self.server.app
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok",
+                                  **self._app().stats()})
+        elif self.path == "/v1/model":
+            self._send_json(200, self._app().info())
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        route = _ROUTES.get(self.path)
+        if route is None:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+            return
+        kind, field = route
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length <= 0 or length > _MAX_BODY:
+                # Refusing without reading the body would leave its
+                # bytes on a keep-alive socket to be misparsed as the
+                # next request — drop the connection instead.
+                self.close_connection = True
+                if length <= 0:
+                    raise _BadRequest("empty request body")
+                raise _BadRequest(
+                    f"request body of {length} bytes exceeds the "
+                    f"{_MAX_BODY}-byte limit"
+                )
+            try:
+                payload = json.loads(self.rfile.read(length))
+            except json.JSONDecodeError as exc:
+                raise _BadRequest(f"invalid JSON: {exc}") from exc
+            inputs = _parse_inputs(payload)
+            result = getattr(self._app(), kind)(inputs)
+        except _BadRequest as exc:
+            self._send_json(400, {"error": str(exc)})
+        except ValueError as exc:
+            # Shape/validation errors surfaced by the engine.
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — must answer the client
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+        else:
+            self._send_json(200, {field: np.asarray(result).tolist()})
+
+
+class HTTPFrontend:
+    """Serve a :class:`~repro.serve.Server` over HTTP on a daemon thread.
+
+    ``port=0`` binds an ephemeral port; read the result from ``.url``.
+    """
+
+    def __init__(self, app, host: str = "127.0.0.1", port: int = 8000) -> None:
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.app = app
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "HTTPFrontend":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.httpd.serve_forever, name="repro-serve-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self.httpd.shutdown()
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.httpd.server_close()
+
+    def __repr__(self) -> str:
+        return f"HTTPFrontend(url={self.url!r})"

@@ -1,0 +1,295 @@
+"""The programmatic serving API: one object tying the stack together.
+
+``ModelStore artifact -> InferenceEngine shards -> MicroBatcher -> you``
+
+:class:`Server` owns a :class:`~repro.serve.workers.ShardedPool` (N
+engines), an asyncio event loop running on a background thread, and a
+:class:`~repro.serve.batching.MicroBatcher` on that loop.  Its public
+``predict`` / ``logits`` / ``intensity_map`` methods are thread-safe and
+blocking; every sample travels through the batching frontend, so
+concurrent callers are coalesced into engine-sized batches
+transparently.  ``serve_http`` optionally exposes the same API over
+stdlib HTTP/JSON (see :mod:`repro.serve.http`).
+
+Typical use::
+
+    from repro.serve import ModelStore, ServeConfig, Server
+
+    store = ModelStore("artifacts/")
+    with Server(artifact=store.path("mnist"),
+                config=ServeConfig(shards=2, max_batch=32)) as server:
+        labels = server.predict(images)          # programmatic
+        frontend = server.serve_http(port=8000)  # ... or HTTP
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from .batching import MicroBatcher
+from .store import resolve_artifact
+from .workers import REQUEST_KINDS, ShardedPool
+
+__all__ = ["ServeConfig", "Server"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one serving deployment.
+
+    ``engine_batch`` (the engine's internal chunk size) defaults to
+    ``max(64, max_batch)`` so a full frontend flush always runs as a
+    single engine chunk.
+    """
+
+    precision: str = "double"
+    max_batch: int = 32
+    max_delay: float = 0.002
+    shards: int = 1
+    backend: str = "thread"
+    engine_batch: Optional[int] = None
+    host: str = "127.0.0.1"
+    port: int = 8000
+
+    def resolved_engine_batch(self) -> int:
+        if self.engine_batch is not None:
+            return int(self.engine_batch)
+        return max(64, int(self.max_batch))
+
+
+class Server:
+    """Batched, sharded inference over one model artifact.
+
+    Exactly one of ``model`` / ``artifact`` is required.  A live model
+    with the ``"process"`` backend is persisted to a temporary artifact
+    first (child processes rebuild their engines from disk).
+    """
+
+    def __init__(
+        self,
+        model=None,
+        artifact: Optional[Union[str, Path]] = None,
+        config: Optional[ServeConfig] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if (model is None) == (artifact is None):
+            raise ValueError("pass exactly one of model= or artifact=")
+        self.config = config or ServeConfig()
+        self._owns_artifact = False
+        if artifact is not None:
+            artifact = resolve_artifact(artifact)
+        elif self.config.backend == "process":
+            from ..utils.serialization import save_model
+
+            handle, temp_path = tempfile.mkstemp(suffix=".npz",
+                                                 prefix="repro-serve-")
+            os.close(handle)
+            artifact = save_model(temp_path, model,
+                                  metadata={"transient": True})
+            self._owns_artifact = True
+            model = None
+        self.artifact = Path(artifact) if artifact is not None else None
+        self._header: Optional[Dict[str, Any]] = None
+        if self.artifact is not None:
+            from ..utils.serialization import read_model_header
+
+            self._header = read_model_header(self.artifact)
+        self._model = model
+        self._metadata = dict(metadata or {})
+        self._pool: Optional[ShardedPool] = None
+        self._batcher: Optional[MicroBatcher] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._http = None
+        self._started = False
+        self._closed = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Server":
+        """Build the shard pool, the event loop and the batcher (idempotent)."""
+        with self._lock:
+            if self._started:
+                return self
+            if self._closed:
+                raise RuntimeError(
+                    "server was stopped; build a new Server to serve again"
+                )
+            cfg = self.config
+            self._pool = ShardedPool(
+                model=self._model,
+                artifact=self.artifact,
+                shards=cfg.shards,
+                backend=cfg.backend,
+                precision=cfg.precision,
+                engine_batch=cfg.resolved_engine_batch(),
+            )
+            self._loop = asyncio.new_event_loop()
+            self._loop_thread = threading.Thread(
+                target=self._loop.run_forever, name="repro-serve-loop",
+                daemon=True,
+            )
+            self._loop_thread.start()
+            self._batcher = MicroBatcher(
+                self._pool, self._loop,
+                max_batch=cfg.max_batch, max_delay=cfg.max_delay,
+            )
+            self._started = True
+        return self
+
+    def warmup(self) -> "Server":
+        """Spin up every shard (process spawn, first-call allocations)."""
+        self.start()
+        self._pool.warmup()
+        return self
+
+    def stop(self) -> None:
+        """Tear the stack down; safe to call twice (and before start —
+        a never-started process-backend server still cleans up its
+        transient artifact)."""
+        with self._lock:
+            self._closed = True
+            started = self._started
+            self._started = False
+        if started:
+            if self._http is not None:
+                self._http.stop()
+                self._http = None
+            loop = self._loop
+            # Refuse new requests and flush what is queued; closing the
+            # pool then waits for every in-flight batch (rows are
+            # delivered from the worker threads, so nothing depends on
+            # the loop here).
+            self._batcher.close()
+            self._pool.close()
+            loop.call_soon_threadsafe(loop.stop)
+            self._loop_thread.join(timeout=10)
+            loop.close()
+            self._loop = self._batcher = self._pool = None
+        if self._owns_artifact and self.artifact is not None:
+            self._owns_artifact = False
+            try:
+                self.artifact.unlink()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Request path (thread-safe, blocking)
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, sample):
+        """Enqueue one sample; returns a ``concurrent.futures.Future``
+        resolving to its row of the coalesced result."""
+        self.start()
+        batcher = self._batcher  # stop() may null the attribute anytime
+        if batcher is None:
+            raise RuntimeError(
+                "server was stopped; build a new Server to serve again"
+            )
+        return batcher.submit_nowait(kind, sample)
+
+    def _request(self, kind: str, inputs) -> np.ndarray:
+        inputs = np.asarray(getattr(inputs, "data", inputs))
+        if inputs.ndim == 2:
+            return np.asarray(self.submit(kind, inputs).result())
+        if inputs.ndim == 3:
+            futures = [self.submit(kind, sample) for sample in inputs]
+            return np.stack([np.asarray(f.result()) for f in futures])
+        raise ValueError(
+            f"inputs must be one sample (2-D) or a batch (3-D), got shape "
+            f"{inputs.shape}"
+        )
+
+    def predict(self, inputs) -> np.ndarray:
+        """Predicted labels; batches fan out as independent requests
+        through the micro-batcher (byte-identical to serial
+        ``DONN.predict`` — see :mod:`repro.serve.batching`)."""
+        return self._request("predict", inputs)
+
+    def logits(self, inputs) -> np.ndarray:
+        return self._request("logits", inputs)
+
+    def intensity_map(self, inputs) -> np.ndarray:
+        return self._request("intensity_map", inputs)
+
+    # ------------------------------------------------------------------
+    # HTTP
+    # ------------------------------------------------------------------
+    def serve_http(self, host: Optional[str] = None,
+                   port: Optional[int] = None):
+        """Expose this server over HTTP/JSON; returns the frontend
+        (``frontend.url`` has the bound address — ``port=0`` picks a
+        free one)."""
+        from .http import HTTPFrontend
+
+        self.start()
+        if self._http is None:
+            self._http = HTTPFrontend(
+                self,
+                host=self.config.host if host is None else host,
+                port=self.config.port if port is None else port,
+            )
+            self._http.start()
+        return self._http
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def info(self) -> Dict[str, Any]:
+        """Model + deployment description (the ``/v1/model`` payload)."""
+        cfg = self.config
+        info: Dict[str, Any] = {
+            "artifact": str(self.artifact) if self.artifact else None,
+            "precision": cfg.precision,
+            "max_batch": cfg.max_batch,
+            "max_delay": cfg.max_delay,
+            "shards": cfg.shards,
+            "backend": cfg.backend,
+            "kinds": list(REQUEST_KINDS),
+            "metadata": self._metadata,
+        }
+        if self._header is not None:
+            info["model"] = {
+                "config": self._header["config"],
+                "num_layers": self._header["num_layers"],
+                "metadata": self._header.get("metadata", {}),
+            }
+        elif self._model is not None:
+            from dataclasses import asdict
+
+            info["model"] = {
+                "config": asdict(self._model.config),
+                "num_layers": len(self._model.layers),
+                "metadata": {},
+            }
+        return info
+
+    def stats(self) -> Dict[str, Any]:
+        if not self._started:
+            return {"started": False}
+        return {
+            "started": True,
+            "batcher": self._batcher.stats.as_dict(),
+            "pool": self._pool.stats(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Server(artifact={str(self.artifact) if self.artifact else None!r}, "
+            f"config={self.config}, started={self._started})"
+        )

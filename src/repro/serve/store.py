@@ -1,0 +1,110 @@
+"""The model registry: named, self-contained DONN artifacts on disk.
+
+:class:`ModelStore` is the serving side of
+:mod:`repro.utils.serialization` — a directory of versioned model
+artifacts addressed by name.  ``save`` persists a trained
+:class:`~repro.donn.model.DONN` (full geometry + detector spec + raw
+weights + sparsity masks), ``load`` rebuilds it with no other inputs,
+and ``engine`` compiles a stored artifact straight into an
+:class:`~repro.runtime.InferenceEngine` ready to serve.  Loaded models
+are bit-identical to the originals (the round trip is test-enforced to
+0 ULP in double precision).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..utils.serialization import load_model, read_model_header, save_model
+
+__all__ = ["ModelStore", "resolve_artifact"]
+
+#: Artifact file suffix inside a store directory.
+_SUFFIX = ".npz"
+
+
+def resolve_artifact(source: Union[str, Path]) -> Path:
+    """Resolve ``source`` to an existing artifact file.
+
+    Accepts a direct path to an ``.npz`` artifact or a path missing the
+    suffix; raises ``FileNotFoundError`` with the attempted candidates
+    otherwise.
+    """
+    candidates = [Path(source)]
+    if not str(source).endswith(_SUFFIX):
+        candidates.append(Path(str(source) + _SUFFIX))
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    raise FileNotFoundError(
+        f"no model artifact at {' or '.join(str(c) for c in candidates)}"
+    )
+
+
+class ModelStore:
+    """A directory of named model artifacts.
+
+    Names map to ``<root>/<name>.npz``; nested names (``"mnist/ours_c"``)
+    create subdirectories.  All reads validate the artifact's format tag
+    and version before touching weights.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def path(self, name: str) -> Path:
+        """The on-disk path an artifact name maps to."""
+        if not name:
+            raise ValueError("artifact name must be non-empty")
+        clean = name[:-len(_SUFFIX)] if name.endswith(_SUFFIX) else name
+        path = (self.root / (clean + _SUFFIX)).resolve()
+        root = self.root.resolve()
+        if root != path and root not in path.parents:
+            raise ValueError(f"artifact name {name!r} escapes the store root")
+        return path
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            return self.path(name).is_file()
+        except ValueError:
+            return False
+
+    def list_models(self) -> List[str]:
+        """Names of every artifact under the store root (sorted)."""
+        if not self.root.is_dir():
+            return []
+        names = []
+        for path in self.root.rglob("*" + _SUFFIX):
+            names.append(str(path.relative_to(self.root))[:-len(_SUFFIX)])
+        return sorted(names)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, name: str, model,
+             metadata: Optional[Dict[str, Any]] = None) -> Path:
+        """Persist ``model`` under ``name``; returns the written path."""
+        path = self.path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return save_model(path, model, metadata=metadata)
+
+    def load(self, name: str):
+        """Rebuild the stored :class:`~repro.donn.model.DONN`."""
+        return load_model(self.path(name))
+
+    def info(self, name: str) -> Dict[str, Any]:
+        """The artifact's validated JSON header (no weights loaded)."""
+        return read_model_header(self.path(name))
+
+    def engine(self, name: str, **engine_kwargs):
+        """Compile a stored artifact into an
+        :class:`~repro.runtime.InferenceEngine` (kwargs forwarded:
+        ``precision``, ``max_batch``, ...)."""
+        return self.load(name).inference_engine(**engine_kwargs)
+
+    def __repr__(self) -> str:
+        return f"ModelStore(root={str(self.root)!r})"

@@ -1,0 +1,242 @@
+"""Sharded execution: N workers, each holding one compiled engine.
+
+One :class:`~repro.runtime.InferenceEngine` saturates one core; a
+:class:`ShardedPool` runs ``shards`` of them side by side and dispatches
+each batch to the least-loaded shard (round-robin between ties).  Every
+shard computes the same pure function of its input batch, so results are
+byte-identical regardless of shard count, backend or dispatch order
+(test-enforced).
+
+Backends
+--------
+``"thread"`` (default)
+    Shards are single-worker thread executors inside this process.  All
+    engines share the process-wide propagation-kernel cache (one ``H``
+    total) and scratch buffers are per-thread, so memory overhead per
+    extra shard is just its padded scratch planes.  scipy's FFT releases
+    the GIL, which is where the parallelism comes from.
+``"process"``
+    Shards are single-worker *process* executors; each child loads the
+    model artifact once (pool initializer) and builds a private engine —
+    the same kernel-cache semantics, now per process.  Requires an
+    artifact path (a live model is persisted to a temp artifact by
+    :class:`~repro.serve.server.Server` first), costs one interpreter
+    spawn + import per shard up front, and pays a pickle round trip per
+    batch; worth it for CPU-bound double-precision loads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+__all__ = ["ShardedPool", "REQUEST_KINDS"]
+
+#: Engine methods a pool (and the batching frontend above it) can run.
+REQUEST_KINDS = ("logits", "predict", "intensity_map")
+
+_BACKENDS = ("thread", "process")
+
+# ----------------------------------------------------------------------
+# Process-backend worker side: one engine per child process, built once.
+# ----------------------------------------------------------------------
+_WORKER_ENGINE = None
+
+
+def _init_process_shard(artifact: str, precision: str,
+                        engine_batch: int) -> None:
+    """Pool initializer: load the artifact and compile the shard engine."""
+    global _WORKER_ENGINE
+    from ..utils.serialization import load_model
+
+    model = load_model(artifact)
+    _WORKER_ENGINE = model.inference_engine(
+        precision=precision, max_batch=engine_batch
+    )
+
+
+def _run_process_shard(kind: str, fields: np.ndarray) -> np.ndarray:
+    return getattr(_WORKER_ENGINE, kind)(fields)
+
+
+class _Shard:
+    """One worker (an executor with exactly one slot) + its load count."""
+
+    def __init__(self, index: int, executor, run) -> None:
+        self.index = index
+        self.executor = executor
+        self.run = run
+        self.inflight = 0
+        self.dispatched = 0
+
+
+class ShardedPool:
+    """Dispatch inference batches across ``shards`` engine workers.
+
+    Parameters
+    ----------
+    model:
+        A live :class:`~repro.donn.model.DONN` (thread backend only).
+    artifact:
+        Path to a :func:`~repro.utils.serialization.save_model` artifact;
+        required by the process backend, accepted by both.
+    shards:
+        Number of workers, each holding one engine.
+    backend:
+        ``"thread"`` or ``"process"`` (see module docstring).
+    precision, engine_batch:
+        Forwarded to every shard's engine (``engine_batch`` is the
+        engine's internal ``max_batch`` chunk size).
+    """
+
+    def __init__(
+        self,
+        model=None,
+        artifact: Optional[Union[str, Path]] = None,
+        shards: int = 1,
+        backend: str = "thread",
+        precision: str = "double",
+        engine_batch: int = 64,
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+            )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if model is None and artifact is None:
+            raise ValueError("ShardedPool needs a model or an artifact path")
+        self.shards = int(shards)
+        self.backend = backend
+        self.precision = precision
+        self.engine_batch = int(engine_batch)
+        self._lock = threading.Lock()
+        self._rr = itertools.count()
+        self._closed = False
+        self._shards: List[_Shard] = []
+
+        if backend == "process":
+            if artifact is None:
+                raise ValueError(
+                    "the process backend loads its engines from disk; pass "
+                    "artifact= (Server persists live models automatically)"
+                )
+            for index in range(self.shards):
+                executor = ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_init_process_shard,
+                    initargs=(str(artifact), precision, self.engine_batch),
+                )
+                self._shards.append(
+                    _Shard(index, executor, _run_process_shard)
+                )
+        else:
+            if model is None:
+                from ..utils.serialization import load_model
+
+                model = load_model(artifact)
+            self.model = model
+            for index in range(self.shards):
+                engine = model.inference_engine(
+                    precision=precision, max_batch=self.engine_batch
+                )
+                executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"repro-shard-{index}"
+                )
+                self._shards.append(_Shard(
+                    index, executor,
+                    lambda kind, fields, _e=engine:
+                        getattr(_e, kind)(fields),
+                ))
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _pick(self) -> _Shard:
+        """Least-loaded shard; round-robin order breaks ties."""
+        start = next(self._rr) % self.shards
+        best = None
+        for offset in range(self.shards):
+            shard = self._shards[(start + offset) % self.shards]
+            if best is None or shard.inflight < best.inflight:
+                best = shard
+        return best
+
+    def submit(self, kind: str, fields) -> Future:
+        """Run ``engine.<kind>(fields)`` on one shard; returns a Future."""
+        if kind not in REQUEST_KINDS:
+            raise ValueError(
+                f"unknown request kind {kind!r}; expected one of "
+                f"{REQUEST_KINDS}"
+            )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            shard = self._pick()
+            shard.inflight += 1
+            shard.dispatched += 1
+            future = shard.executor.submit(shard.run, kind, fields)
+
+        def _done(_f, _shard=shard):
+            with self._lock:
+                _shard.inflight -= 1
+
+        future.add_done_callback(_done)
+        return future
+
+    def run(self, kind: str, fields) -> np.ndarray:
+        """Synchronous :meth:`submit`."""
+        return self.submit(kind, fields).result()
+
+    def warmup(self) -> None:
+        """Run a dummy single-sample batch through *every* shard.
+
+        Forces process spawn + artifact load + first-call buffer
+        allocation up front so the first real request (or a benchmark)
+        does not pay for it.
+        """
+        futures = [
+            shard.executor.submit(
+                shard.run, "predict", np.zeros((1, 8, 8), dtype=np.float64)
+            )
+            for shard in self._shards
+        ]
+        for future in futures:
+            future.result()
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        return {
+            "shards": self.shards,
+            "backend": self.backend,
+            "precision": self.precision,
+            "dispatched": [shard.dispatched for shard in self._shards],
+            "inflight": [shard.inflight for shard in self._shards],
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for shard in self._shards:
+            shard.executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedPool(shards={self.shards}, backend={self.backend!r}, "
+            f"precision={self.precision!r})"
+        )

@@ -2,7 +2,15 @@
 
 from .ascii_art import render_mask, render_side_by_side
 from .pareto import pareto_frontier
-from .serialization import load_phases, save_phases
+from .serialization import (
+    MODEL_FORMAT,
+    MODEL_FORMAT_VERSION,
+    load_model,
+    load_phases,
+    read_model_header,
+    save_model,
+    save_phases,
+)
 
 __all__ = [
     "render_mask",
@@ -10,4 +18,9 @@ __all__ = [
     "pareto_frontier",
     "save_phases",
     "load_phases",
+    "save_model",
+    "load_model",
+    "read_model_header",
+    "MODEL_FORMAT",
+    "MODEL_FORMAT_VERSION",
 ]

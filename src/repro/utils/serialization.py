@@ -1,13 +1,43 @@
-"""Checkpointing: save and restore trained DONN masks as ``.npz`` files."""
+"""Checkpointing: save and restore trained DONN artifacts as ``.npz`` files.
+
+Two formats live here:
+
+* :func:`save_phases` / :func:`load_phases` — the original *bare* phase
+  checkpoint (per-layer phases + optional sparsity masks, nothing else);
+  restoring one requires rebuilding the model geometry by hand.
+* :func:`save_model` / :func:`load_model` — the versioned *self-contained*
+  model artifact used by :mod:`repro.serve`: the full
+  :class:`~repro.donn.model.DONNConfig` (geometry, wavelength, pitch,
+  distances, detector layout, parametrization), the raw per-layer weights
+  (bit-exact — not the wrapped phase view, so a load reproduces the
+  original forward to 0 ULP), sparsity masks and free-form metadata, all
+  in one ``.npz``.  ``load_model`` rebuilds a ready-to-run
+  :class:`~repro.donn.model.DONN` with no other inputs.
+"""
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["save_phases", "load_phases"]
+__all__ = [
+    "save_phases",
+    "load_phases",
+    "save_model",
+    "load_model",
+    "read_model_header",
+    "MODEL_FORMAT",
+    "MODEL_FORMAT_VERSION",
+]
+
+#: Identifies a self-contained model artifact (vs a bare phase checkpoint).
+MODEL_FORMAT = "repro-donn-model"
+#: Bump when the artifact layout changes incompatibly; ``load_model``
+#: rejects versions it does not understand instead of misreading them.
+MODEL_FORMAT_VERSION = 1
 
 
 def save_phases(
@@ -38,10 +68,19 @@ def load_phases(path: Union[str, Path]):
     ``masks`` entries are ``None`` for layers stored without one.
     """
     with np.load(Path(path)) as data:
+        if "header" in data.files:
+            raise ValueError(
+                f"{path} is a self-contained model artifact; load it "
+                "with load_model instead of load_phases"
+            )
         indices = sorted(
             int(key.split("_")[1]) for key in data.files
             if key.startswith("phase_")
         )
+        if not indices:
+            raise ValueError(
+                f"{path} holds no phase_* layers; not a phase checkpoint"
+            )
         if indices != list(range(len(indices))):
             raise ValueError(f"corrupt checkpoint: phase keys {indices}")
         phases: List[np.ndarray] = [data[f"phase_{i}"] for i in indices]
@@ -49,4 +88,155 @@ def load_phases(path: Union[str, Path]):
             data[f"mask_{i}"] if f"mask_{i}" in data.files else None
             for i in indices
         ]
+    for index, (phase, mask) in enumerate(zip(phases, masks)):
+        if mask is not None and mask.shape != phase.shape:
+            raise ValueError(
+                f"corrupt checkpoint: mask_{index} has shape {mask.shape} "
+                f"but phase_{index} has shape {phase.shape}"
+            )
     return phases, masks
+
+
+# ----------------------------------------------------------------------
+# Self-contained model artifacts (the serving format)
+# ----------------------------------------------------------------------
+def save_model(
+    path: Union[str, Path],
+    model,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write ``model`` (a :class:`~repro.donn.model.DONN`) as a versioned,
+    self-contained artifact.
+
+    The artifact stores the JSON-encoded header (format tag + version +
+    the full ``DONNConfig`` + the derived detector regions + ``metadata``)
+    alongside the *raw* per-layer parameter arrays ``weight_0..L-1`` and
+    any sparsity masks ``mask_0..L-1``.  Storing raw weights instead of
+    the wrapped phase view sidesteps the sigmoid parametrization's
+    clip-and-invert round trip, so a loaded model's forward pass is
+    bit-identical to the original (test-enforced to 0 ULP).
+
+    ``metadata`` must be JSON-serializable (accuracy numbers, recipe
+    names, training provenance — whatever the caller wants to carry).
+    Returns the written path.
+    """
+    from dataclasses import asdict
+
+    path = Path(path)
+    if path.suffix != ".npz":
+        # np.savez appends the suffix silently; normalize up front so
+        # the returned path is the file that actually exists.
+        path = path.with_name(path.name + ".npz")
+    config = asdict(model.config)
+    header = {
+        "format": MODEL_FORMAT,
+        "version": MODEL_FORMAT_VERSION,
+        "config": config,
+        "num_layers": len(model.layers),
+        "resolved_distance": model.config.resolved_distance(),
+        "detector_regions": [
+            list(region) for region in model.detector.layout.regions
+        ],
+        "metadata": dict(metadata or {}),
+    }
+    try:
+        encoded = json.dumps(header, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"metadata is not JSON-serializable: {exc}") from exc
+    payload: Dict[str, np.ndarray] = {
+        "header": np.frombuffer(encoded.encode("utf-8"), dtype=np.uint8),
+    }
+    for index, layer in enumerate(model.layers):
+        payload[f"weight_{index}"] = np.asarray(layer.phase.data)
+        mask = layer.sparsity_mask
+        if mask is not None:
+            payload[f"mask_{index}"] = np.asarray(mask)
+    np.savez(path, **payload)
+    return path
+
+
+def read_model_header(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate just the JSON header of a model artifact.
+
+    Cheap relative to :func:`load_model` (no weight arrays are
+    materialized); used by :class:`repro.serve.ModelStore` listings.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        if "header" not in data.files:
+            raise ValueError(
+                f"{path} is not a model artifact (no header; bare phase "
+                "checkpoints load with load_phases)"
+            )
+        raw = bytes(data["header"].tobytes())
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"{path}: corrupt artifact header: {exc}") from exc
+    if header.get("format") != MODEL_FORMAT:
+        raise ValueError(
+            f"{path}: unknown artifact format {header.get('format')!r} "
+            f"(expected {MODEL_FORMAT!r})"
+        )
+    version = header.get("version")
+    if version != MODEL_FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: artifact version {version!r} is not supported "
+            f"(this build reads version {MODEL_FORMAT_VERSION})"
+        )
+    return header
+
+
+def load_model(path: Union[str, Path]):
+    """Rebuild a ready-to-run :class:`~repro.donn.model.DONN` from an
+    artifact written by :func:`save_model`.
+
+    Validates the format tag, version, per-layer weight shapes and mask
+    shapes before touching the model.  The package-default RNG is left
+    untouched (reconstruction seeds its own throwaway generator; every
+    weight is overwritten by the stored arrays anyway).
+    """
+    from ..donn.model import DONN, DONNConfig
+
+    path = Path(path)
+    header = read_model_header(path)
+    config = DONNConfig(**header["config"])
+    num_layers = int(header["num_layers"])
+    if num_layers != config.num_layers:
+        raise ValueError(
+            f"{path}: header says {num_layers} layers but config builds "
+            f"{config.num_layers}"
+        )
+    n = config.n
+    weights: List[np.ndarray] = []
+    masks: List[Optional[np.ndarray]] = []
+    with np.load(path) as data:
+        for index in range(num_layers):
+            key = f"weight_{index}"
+            if key not in data.files:
+                raise ValueError(f"{path}: missing {key}")
+            weight = data[key]
+            if weight.shape != (n, n):
+                raise ValueError(
+                    f"{path}: {key} has shape {weight.shape}, expected "
+                    f"({n}, {n})"
+                )
+            weights.append(np.array(weight, dtype=np.float64))
+            mask_key = f"mask_{index}"
+            if mask_key in data.files:
+                mask = data[mask_key]
+                if mask.shape != weight.shape:
+                    raise ValueError(
+                        f"{path}: {mask_key} has shape {mask.shape} but "
+                        f"{key} has shape {weight.shape}"
+                    )
+                masks.append(np.array(mask))
+            else:
+                masks.append(None)
+    # A throwaway generator: the init draw is overwritten below, and the
+    # package default RNG must not advance as a side effect of loading.
+    model = DONN(config, rng=np.random.default_rng(0))
+    for layer, weight in zip(model.layers, weights):
+        layer.phase.data = weight
+    model.apply_sparsity_masks(masks)
+    return model

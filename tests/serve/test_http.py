@@ -1,0 +1,166 @@
+"""End-to-end HTTP/JSON frontend tests (real sockets, ephemeral ports)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.autodiff.rng import spawn_rng
+from repro.donn import DONN, DONNConfig
+from repro.serve import ServeConfig, Server
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DONN(DONNConfig.laptop(n=16), rng=spawn_rng(0))
+
+
+@pytest.fixture(scope="module")
+def images():
+    return spawn_rng(1).random((6, 28, 28))
+
+
+@pytest.fixture(scope="module")
+def served(model):
+    config = ServeConfig(max_batch=4, max_delay=0.005)
+    with Server(model=model, config=config) as server:
+        frontend = server.serve_http(port=0)  # ephemeral port
+        yield server, frontend.url
+
+
+def post(url, path, payload, timeout=30):
+    request = urllib.request.Request(
+        url + path, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def get(url, path, timeout=30):
+    with urllib.request.urlopen(url + path, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        _, url = served
+        status, payload = get(url, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert "batcher" in payload and "pool" in payload
+
+    def test_model_info(self, served, model):
+        _, url = served
+        status, payload = get(url, "/v1/model")
+        assert status == 200
+        assert payload["model"]["config"]["n"] == model.config.n
+        assert payload["max_batch"] == 4
+
+    def test_predict_batch_matches_model(self, served, model, images):
+        _, url = served
+        status, payload = post(url, "/v1/predict",
+                               {"inputs": images.tolist()})
+        assert status == 200
+        assert payload["predictions"] == model.predict(images).tolist()
+
+    def test_predict_single_sample(self, served, model, images):
+        _, url = served
+        status, payload = post(url, "/v1/predict",
+                               {"inputs": images[0].tolist()})
+        assert status == 200
+        assert payload["predictions"] == int(model.predict(
+            images[0][None])[0])
+
+    def test_logits(self, served, model, images):
+        _, url = served
+        status, payload = post(url, "/v1/logits",
+                               {"inputs": images[:2].tolist()})
+        assert status == 200
+        reference = model.inference_engine().logits(images[:2])
+        assert np.abs(np.asarray(payload["logits"]) - reference).max() < 1e-9
+
+    def test_intensity(self, served, model, images):
+        _, url = served
+        status, payload = post(url, "/v1/intensity",
+                               {"inputs": images[0].tolist()})
+        assert status == 200
+        reference = model.inference_engine().intensity_map(images[:1])[0]
+        served = np.asarray(payload["intensity"])
+        assert served.shape == reference.shape
+        assert np.abs(served - reference).max() < 1e-9
+
+    def test_complex_fields_via_imag_part(self, served, model):
+        _, url = served
+        n = model.config.n
+        rng = spawn_rng(3)
+        fields = rng.standard_normal((2, n, n)) + 1j * rng.standard_normal(
+            (2, n, n))
+        status, payload = post(url, "/v1/predict", {
+            "inputs": fields.real.tolist(),
+            "inputs_imag": fields.imag.tolist(),
+        })
+        assert status == 200
+        assert payload["predictions"] == model.predict(fields).tolist()
+
+
+class TestHTTPErrors:
+    def expect_error(self, url, path, body: bytes, status: int):
+        request = urllib.request.Request(
+            url + path, data=body,
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == status
+        return json.loads(excinfo.value.read())
+
+    def test_unknown_path_404(self, served):
+        _, url = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(url + "/nope", timeout=30)
+        assert excinfo.value.code == 404
+
+    def test_invalid_json_400(self, served):
+        _, url = served
+        payload = self.expect_error(url, "/v1/predict", b"{nope", 400)
+        assert "JSON" in payload["error"]
+
+    def test_missing_inputs_400(self, served):
+        _, url = served
+        payload = self.expect_error(url, "/v1/predict", b'{"x": 1}', 400)
+        assert "inputs" in payload["error"]
+
+    def test_wrong_rank_400(self, served):
+        _, url = served
+        self.expect_error(url, "/v1/predict", b'{"inputs": [1, 2, 3]}', 400)
+
+    def test_non_numeric_400(self, served):
+        _, url = served
+        self.expect_error(url, "/v1/predict",
+                          b'{"inputs": [["a", "b"]]}', 400)
+
+    def test_mismatched_imag_400(self, served):
+        _, url = served
+        self.expect_error(
+            url, "/v1/predict",
+            b'{"inputs": [[1.0, 2.0]], "inputs_imag": [[1.0]]}', 400,
+        )
+
+    def test_empty_body_400(self, served):
+        _, url = served
+        self.expect_error(url, "/v1/predict", b"", 400)
+
+    def test_wrong_field_shape_400(self, served):
+        # A complex field whose shape does not match the grid is an
+        # engine-side ValueError -> 400, not a 500.
+        _, url = served
+        self.expect_error(
+            url, "/v1/predict",
+            json.dumps({
+                "inputs": [[1.0, 0.0], [0.0, 1.0]],
+                "inputs_imag": [[0.0, 0.0], [0.0, 0.0]],
+            }).encode(), 400,
+        )

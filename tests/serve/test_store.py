@@ -1,0 +1,186 @@
+"""ModelStore and the versioned self-contained artifact format."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.rng import spawn_rng
+from repro.donn import DONN, DONNConfig
+from repro.serve import ModelStore, resolve_artifact
+from repro.utils import (
+    MODEL_FORMAT,
+    MODEL_FORMAT_VERSION,
+    load_model,
+    read_model_header,
+    save_model,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    model = DONN(DONNConfig.laptop(n=16, num_layers=2,
+                                   detector_region_size=2),
+                 rng=spawn_rng(0))
+    # A frozen sparsity mask on layer 0 must survive the round trip.
+    mask = np.ones((16, 16))
+    mask[:4, :4] = 0.0
+    model.layers[0].set_sparsity_mask(mask)
+    return model
+
+
+@pytest.fixture(scope="module")
+def images():
+    return spawn_rng(1).random((5, 28, 28))
+
+
+class TestArtifactRoundTrip:
+    def test_reload_is_bit_identical_to_0_ulp(self, tmp_path, model, images):
+        path = save_model(tmp_path / "m.npz", model)
+        clone = load_model(path)
+        reference = model.inference_engine().logits(images)
+        reloaded = clone.inference_engine().logits(images)
+        # Raw weights are stored (not the wrapped phase view), so the
+        # reloaded forward is the *same float sequence*: 0 ULP.
+        assert np.array_equal(reference, reloaded)
+
+    def test_raw_weights_and_masks_survive(self, tmp_path, model):
+        path = save_model(tmp_path / "m.npz", model)
+        clone = load_model(path)
+        for ours, theirs in zip(model.layers, clone.layers):
+            assert np.array_equal(ours.phase.data, theirs.phase.data)
+        assert np.array_equal(clone.layers[0].sparsity_mask,
+                              model.layers[0].sparsity_mask)
+        assert clone.layers[1].sparsity_mask is None
+
+    def test_config_survives(self, tmp_path, model):
+        path = save_model(tmp_path / "m.npz", model)
+        assert load_model(path).config == model.config
+
+    def test_donn_save_load_convenience(self, tmp_path, model, images):
+        path = model.save(tmp_path / "m.npz")
+        clone = DONN.load(path)
+        assert np.array_equal(clone.predict(images), model.predict(images))
+
+    def test_save_without_suffix_returns_real_path(self, tmp_path, model):
+        # np.savez appends .npz silently; the returned path must be the
+        # file that actually exists.
+        path = save_model(tmp_path / "m", model)
+        assert path.name == "m.npz"
+        assert path.is_file()
+        load_model(path)
+
+    def test_metadata_round_trips(self, tmp_path, model):
+        save_model(tmp_path / "m.npz", model,
+                   metadata={"recipe": "ours_c", "accuracy": 0.93})
+        header = read_model_header(tmp_path / "m.npz")
+        assert header["metadata"] == {"recipe": "ours_c", "accuracy": 0.93}
+        assert header["format"] == MODEL_FORMAT
+        assert header["version"] == MODEL_FORMAT_VERSION
+        assert header["detector_regions"]
+
+    def test_loading_does_not_touch_default_rng(self, tmp_path, model):
+        from repro.autodiff.rng import get_rng
+
+        path = save_model(tmp_path / "m.npz", model)
+        before = get_rng(None).bit_generator.state
+        load_model(path)
+        assert get_rng(None).bit_generator.state == before
+
+    def test_unserializable_metadata_rejected(self, tmp_path, model):
+        with pytest.raises(ValueError):
+            save_model(tmp_path / "m.npz", model,
+                       metadata={"oops": object()})
+
+
+class TestArtifactValidation:
+    def test_bare_phase_checkpoint_rejected(self, tmp_path, model):
+        from repro.utils import save_phases
+
+        save_phases(tmp_path / "bare.npz", model.phases())
+        with pytest.raises(ValueError, match="not a model artifact"):
+            load_model(tmp_path / "bare.npz")
+
+    def test_model_artifact_rejected_by_load_phases(self, tmp_path, model):
+        from repro.utils import load_phases
+
+        path = save_model(tmp_path / "m.npz", model)
+        with pytest.raises(ValueError, match="load_model"):
+            load_phases(path)
+
+    def test_unknown_version_rejected(self, tmp_path, model):
+        import json
+
+        path = save_model(tmp_path / "m.npz", model)
+        with np.load(path) as data:
+            payload = {key: data[key] for key in data.files}
+        header = json.loads(bytes(payload["header"].tobytes()))
+        header["version"] = MODEL_FORMAT_VERSION + 1
+        payload["header"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_model(path)
+
+    def test_missing_weight_rejected(self, tmp_path, model):
+        path = save_model(tmp_path / "m.npz", model)
+        with np.load(path) as data:
+            payload = {key: data[key] for key in data.files
+                       if key != "weight_1"}
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="missing weight_1"):
+            load_model(path)
+
+    def test_wrong_mask_shape_rejected(self, tmp_path, model):
+        path = save_model(tmp_path / "m.npz", model)
+        with np.load(path) as data:
+            payload = {key: data[key] for key in data.files}
+        payload["mask_0"] = np.ones((3, 3))
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="mask_0"):
+            load_model(path)
+
+
+class TestModelStore:
+    def test_save_load_engine(self, tmp_path, model, images):
+        store = ModelStore(tmp_path / "store")
+        store.save("mnist/ours_c", model)
+        assert "mnist/ours_c" in store
+        assert store.list_models() == ["mnist/ours_c"]
+        engine = store.engine("mnist/ours_c")
+        np.testing.assert_array_equal(
+            engine.predict(images), model.predict(images)
+        )
+
+    def test_engine_kwargs_forwarded(self, tmp_path, model):
+        store = ModelStore(tmp_path / "store")
+        store.save("m", model)
+        engine = store.engine("m", precision="single", max_batch=7)
+        assert engine.precision == "single"
+        assert engine.max_batch == 7
+
+    def test_info_reads_header_only(self, tmp_path, model):
+        store = ModelStore(tmp_path / "store")
+        store.save("m", model, metadata={"note": "hi"})
+        info = store.info("m")
+        assert info["metadata"] == {"note": "hi"}
+        assert info["config"]["n"] == 16
+
+    def test_missing_artifact(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        assert "ghost" not in store
+        with pytest.raises(FileNotFoundError):
+            store.load("ghost")
+
+    def test_name_escape_rejected(self, tmp_path):
+        store = ModelStore(tmp_path / "store")
+        with pytest.raises(ValueError):
+            store.path("../outside")
+        with pytest.raises(ValueError):
+            store.path("")
+
+    def test_resolve_artifact_adds_suffix(self, tmp_path, model):
+        path = save_model(tmp_path / "m.npz", model)
+        assert resolve_artifact(tmp_path / "m") == path
+        assert resolve_artifact(path) == path
+        with pytest.raises(FileNotFoundError):
+            resolve_artifact(tmp_path / "nope")

@@ -26,6 +26,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["quickstart", "--family", "klingon"])
 
+    def test_serve_requires_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--model", "m.npz"])
+        assert args.precision == "double"
+        assert args.max_batch == 32
+        assert args.shards == 1
+        assert args.backend == "thread"
+        assert args.port == 8000
+
+    def test_serve_knobs(self):
+        args = build_parser().parse_args([
+            "serve", "--model", "m.npz", "--precision", "single",
+            "--max-batch", "8", "--shards", "4", "--backend", "process",
+        ])
+        assert (args.precision, args.max_batch, args.shards,
+                args.backend) == ("single", 8, 4, "process")
+
+    def test_bench_serve_defaults(self):
+        args = build_parser().parse_args(["bench-serve", "--model", "m"])
+        assert args.requests == 512
+        assert args.url is None
+        assert not args.check
+
 
 class TestCommands:
     def test_quickstart_runs(self, capsys):
@@ -43,3 +69,27 @@ class TestCommands:
         assert main(["recipe", "--recipe", "ours_b", *TINY]) == 0
         out = capsys.readouterr().out
         assert "sparsity" in out
+
+    def test_quickstart_save_then_bench_serve(self, capsys, tmp_path):
+        # The end-to-end serving story: train -> artifact -> load test.
+        artifact = tmp_path / "model.npz"
+        assert main(["quickstart", *TINY, "--save", str(artifact)]) == 0
+        assert artifact.is_file()
+        assert main([
+            "bench-serve", "--model", str(artifact), "--requests", "32",
+            "--concurrency", "4", "--check",
+            "--output", str(tmp_path / "bench.json"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+        assert "req/s" in out
+        assert (tmp_path / "bench.json").is_file()
+
+    def test_bench_serve_without_model_or_url_fails(self, capsys):
+        assert main(["bench-serve", "--requests", "4"]) == 2
+
+    def test_bench_serve_check_incompatible_with_url(self, capsys):
+        # --check must refuse rather than silently skip verification.
+        assert main(["bench-serve", "--url", "http://localhost:1",
+                     "--check"]) == 2
+        assert "--model" in capsys.readouterr().err

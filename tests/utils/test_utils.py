@@ -107,6 +107,14 @@ class TestSerialization:
         with pytest.raises(ValueError):
             save_phases(tmp_path / "x.npz", [np.ones((2, 2))], [None, None])
 
+    def test_mask_shape_mismatch_rejected_on_load(self, tmp_path):
+        # A checkpoint whose stored mask does not match its phase layer
+        # must fail loudly instead of loading silently.
+        path = tmp_path / "bad.npz"
+        np.savez(path, phase_0=np.ones((4, 4)), mask_0=np.ones((2, 2)))
+        with pytest.raises(ValueError, match="mask_0"):
+            load_phases(path)
+
     def test_model_roundtrip(self, tmp_path):
         from repro.autodiff.rng import spawn_rng
         from repro.donn import DONN, DONNConfig
