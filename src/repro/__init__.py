@@ -8,6 +8,7 @@ numpy autodiff engine.  See ``DESIGN.md`` for the system inventory and
 
 Subpackage guide:
 
+* :mod:`repro.backend`  — FFT backend dispatch (scipy/numpy) + precision policy
 * :mod:`repro.autodiff` — reverse-mode autodiff over numpy (PyTorch stand-in)
 * :mod:`repro.optics`   — free-space propagation, fabrication, crosstalk
 * :mod:`repro.donn`     — the differentiable DONN model and trainer
@@ -22,6 +23,7 @@ Subpackage guide:
 
 from . import (
     autodiff,
+    backend,
     data,
     donn,
     optics,
@@ -38,6 +40,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "autodiff",
+    "backend",
     "data",
     "donn",
     "optics",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import dispatch as _backend
 from .ops import _build
 from .tensor import Tensor, as_tensor
 
@@ -40,11 +41,11 @@ def fft2(x, norm: str = "ortho") -> Tensor:
     """2-D FFT over the last two axes (differentiable, complex output)."""
     norm = _check_norm(norm)
     x = as_tensor(x)
-    out = np.fft.fft2(x.data, norm=norm)
+    out = _backend.fft2(x.data, norm=norm)
     adjoint = _ADJOINT_NORM[norm]
 
     def vjp(g):
-        return np.fft.ifft2(np.asarray(g), norm=adjoint)
+        return _backend.ifft2(np.asarray(g), norm=adjoint)
 
     return _build(out, [(x, vjp)])
 
@@ -53,32 +54,32 @@ def ifft2(x, norm: str = "ortho") -> Tensor:
     """2-D inverse FFT over the last two axes (differentiable)."""
     norm = _check_norm(norm)
     x = as_tensor(x)
-    out = np.fft.ifft2(x.data, norm=norm)
+    out = _backend.ifft2(x.data, norm=norm)
     adjoint = _ADJOINT_NORM[norm]
 
     def vjp(g):
-        return np.fft.fft2(np.asarray(g), norm=adjoint)
+        return _backend.fft2(np.asarray(g), norm=adjoint)
 
     return _build(out, [(x, vjp)])
 
 
 def fftshift(x) -> Tensor:
-    """Differentiable ``np.fft.fftshift`` on the last two axes."""
+    """Differentiable zero-frequency-centering shift on the last two axes."""
     x = as_tensor(x)
-    out = np.fft.fftshift(x.data, axes=(-2, -1))
+    out = _backend.fftshift(x.data, axes=(-2, -1))
 
     def vjp(g):
-        return np.fft.ifftshift(np.asarray(g), axes=(-2, -1))
+        return _backend.ifftshift(np.asarray(g), axes=(-2, -1))
 
     return _build(out, [(x, vjp)])
 
 
 def ifftshift(x) -> Tensor:
-    """Differentiable ``np.fft.ifftshift`` on the last two axes."""
+    """Differentiable inverse of :func:`fftshift` on the last two axes."""
     x = as_tensor(x)
-    out = np.fft.ifftshift(x.data, axes=(-2, -1))
+    out = _backend.ifftshift(x.data, axes=(-2, -1))
 
     def vjp(g):
-        return np.fft.fftshift(np.asarray(g), axes=(-2, -1))
+        return _backend.fftshift(np.asarray(g), axes=(-2, -1))
 
     return _build(out, [(x, vjp)])

@@ -46,8 +46,9 @@ import os
 from typing import Optional, Tuple
 
 import numpy as np
-from scipy import fft as _fft
 
+from ..backend import dispatch as _fft
+from ..backend import get_precision
 from .ops import _build
 from .tensor import Tensor, as_tensor
 
@@ -132,13 +133,20 @@ def clear_scratch() -> None:
 
 
 def _prescaled(kernel) -> Tuple[np.ndarray, np.ndarray]:
-    """``(H/side^2, conj(H)/side^2)`` for a shared PropagationKernel.
+    """``(H/side^2, conj(H)/side^2)`` at the active compute precision.
 
     Both arrays are computed once per cached kernel and shared with
     every other consumer (see ``PropagationKernel.prescaled``); the
     per-hop ortho scalings are folded in so the hot loop runs unscaled
-    DFT passes, exactly like the inference engine.
+    DFT passes, exactly like the inference engine.  Under a single
+    precision policy the shared complex64 kernel variant is fetched
+    through the cache (one downcast per geometry, process-wide).
     """
+    cdtype = get_precision().complex_dtype
+    if kernel.dtype != cdtype:
+        from ..runtime.kernel_cache import kernel_for_dtype
+
+        kernel = kernel_for_dtype(kernel, cdtype)
     return kernel.prescaled(), kernel.prescaled_conj()
 
 
@@ -150,12 +158,15 @@ def _propagate_padded(fields: np.ndarray, h: np.ndarray, pad: int,
     """One pad -> FFT -> ``h``-mul -> IFFT -> crop hop over ``(batch, n, n)``.
 
     ``h`` is a *prescaled* transfer function (or its conjugate, for the
-    adjoint).  The padded field is zero outside the ``n`` interior rows,
-    so each 2-D transform runs as two 1-D passes and the row-axis pass
-    only visits those rows (the zero border transforms to zero for free);
-    the inverse side produces only the interior rows, which is all the
-    crop keeps.  Returns a fresh array each call — only the padded
-    ``work`` plane is shared scratch.
+    adjoint); its dtype sets the compute precision — the padded work
+    plane is allocated at ``h.dtype``, so a complex64 kernel runs the
+    whole hop (and any complex128 inputs assigned into the plane) in
+    single precision.  The padded field is zero outside the ``n``
+    interior rows, so each 2-D transform runs as two 1-D passes and the
+    row-axis pass only visits those rows (the zero border transforms to
+    zero for free); the inverse side produces only the interior rows,
+    which is all the crop keeps.  Returns a fresh array each call —
+    only the padded ``work`` plane is shared scratch.
 
     This is the single-hop form of the multi-hop loop in
     ``InferenceEngine._propagate_chunk`` (which additionally keeps the
@@ -165,7 +176,7 @@ def _propagate_padded(fields: np.ndarray, h: np.ndarray, pad: int,
     side = h.shape[-1]
     batch = fields.shape[0]
     rows = slice(pad, pad + n)
-    work = _scratch().zeros("fused", (batch, side, side), np.complex128)
+    work = _scratch().zeros("fused", (batch, side, side), h.dtype)
     work[:, rows, pad:pad + n] = fields
     work[:, rows, :] = _fft.fft(work[:, rows, :], axis=-1)
     spectrum = _fft.fft(work, axis=-2)
@@ -269,13 +280,19 @@ def diffmod(
                 f"mask shape {mask.shape} does not match grid ({n}, {n})"
             )
     h, h_conj = _prescaled(kernel)
+    cdtype = h.dtype
+    rdtype = np.dtype("float32" if cdtype == np.complex64 else "float64")
     pad = kernel.pad
     shape = field.shape
 
     fields = field.data.reshape((-1, n, n))
     propagated = _propagate_padded(fields, h, pad, n)
 
-    w = raw_phase.data
+    # Elementwise phase math runs at the compute precision too: under
+    # the single policy the float64 master weights are read through a
+    # float32 view of the chain, so modulation / output / gradients are
+    # complex64 end to end (the optimizer state follows, see optim.py).
+    w = raw_phase.data.astype(rdtype, copy=False)
     if parametrization == "sigmoid":
         s = 1.0 / (1.0 + np.exp(-w))
         phi = s * _TWO_PI
@@ -283,18 +300,21 @@ def diffmod(
         s = None
         phi = w
     if mask is not None:
+        mask = mask.astype(rdtype, copy=False)
         phi = phi * mask
     modulation = np.exp(1j * phi)
     out_flat = propagated * modulation
     out = out_flat.reshape(shape)
 
     def vjp_field(g):
-        g = np.asarray(g).reshape((-1, n, n))
+        g = np.asarray(g)
+        g = g.astype(cdtype, copy=False).reshape((-1, n, n))
         grad = _propagate_padded(g * np.conj(modulation), h_conj, pad, n)
         return grad.reshape(shape)
 
     def vjp_phase(g):
-        g = np.asarray(g).reshape((-1, n, n))
+        g = np.asarray(g)
+        g = g.astype(cdtype, copy=False).reshape((-1, n, n))
         grad = np.sum((np.conj(out_flat) * g).imag, axis=0)
         if mask is not None:
             grad = grad * mask

@@ -64,7 +64,11 @@ class SGD(Optimizer):
                 grad = grad + self.weight_decay * param.data
             if self.momentum:
                 if self._velocity[index] is None:
-                    self._velocity[index] = np.zeros_like(param.data)
+                    # State adopts the gradient's dtype, so single-
+                    # precision training keeps its optimizer state (and
+                    # memory traffic) in float32 while the float64
+                    # master weights stay exact.
+                    self._velocity[index] = np.zeros_like(grad)
                 self._velocity[index] = (
                     self.momentum * self._velocity[index] + grad
                 )
@@ -103,8 +107,12 @@ class Adam(Optimizer):
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             if self._m[index] is None:
-                self._m[index] = np.zeros_like(param.data)
-                self._v[index] = np.zeros(param.data.shape, dtype=np.float64)
+                # Moment state adopts the gradient's dtype (float32
+                # under single-precision training, complex64 for complex
+                # grads); the |g|^2 second moment is always real.
+                self._m[index] = np.zeros_like(grad)
+                self._v[index] = np.zeros(grad.shape,
+                                          dtype=np.asarray(grad).real.dtype)
             self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
             grad_sq = (grad * np.conj(grad)).real
             self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * grad_sq

@@ -51,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--test", type=int, default=300)
         p.add_argument("--epochs", type=int, default=10)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--precision", choices=("single", "double"), default="double",
+            help="training compute precision: 'single' runs the fused "
+                 "FFT path in complex64 (roughly half the memory "
+                 "traffic); scoring always runs in double",
+        )
 
     def add_save_arg(p):
         p.add_argument(
@@ -84,7 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--model", required=model_required, metavar="PATH",
                        help="model artifact saved with --save / ModelStore")
         p.add_argument("--precision", choices=("single", "double"),
-                       default="double")
+                       default=None,
+                       help="engine precision (default: the precision "
+                            "recorded in the artifact, else double)")
         p.add_argument("--max-batch", type=int, default=32,
                        help="micro-batching flush size")
         p.add_argument("--max-delay-ms", type=float, default=2.0,
@@ -94,6 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="engine workers (each holds one engine)")
         p.add_argument("--backend", choices=("thread", "process"),
                        default="thread")
+        p.add_argument("--cache-size", type=int, default=0,
+                       help="LRU result-cache entries for repeated "
+                            "identical requests (0 disables)")
 
     serve = sub.add_parser(
         "serve", help="serve a model artifact over HTTP/JSON"
@@ -129,6 +140,7 @@ def _config(args) -> ExperimentConfig:
         n_train=args.train,
         n_test=args.test,
         baseline_epochs=args.epochs,
+        precision=getattr(args, "precision", None) or "double",
     )
 
 
@@ -143,7 +155,7 @@ def _save_result(args, result, recipe: str) -> None:
         "roughness_before": result.roughness_before,
         "roughness_after": result.roughness_after,
         "seed": args.seed,
-    })
+    }, precision=args.precision)
     print(f"saved model artifact: {path}")
 
 
@@ -202,6 +214,7 @@ def _serve_config(args, host=None, port=None):
         max_delay=args.max_delay_ms / 1e3,
         shards=args.shards,
         backend=args.backend,
+        cache_size=args.cache_size,
     )
     if host is not None:
         kwargs["host"] = host
@@ -219,12 +232,15 @@ def _cmd_serve(args) -> int:
     with server:
         server.warmup()
         frontend = server.serve_http()
-        info = server.info()["model"]["config"]
+        server_info = server.info()
+        info = server_info["model"]["config"]
         print(f"serving {artifact} "
               f"(n={info['n']}, {info['num_layers']} layers) at "
               f"{frontend.url}")
-        print(f"  precision={args.precision} max_batch={args.max_batch} "
-              f"shards={args.shards} backend={args.backend}")
+        print(f"  precision={server_info['precision']} "
+              f"max_batch={args.max_batch} "
+              f"shards={args.shards} backend={args.backend} "
+              f"cache_size={args.cache_size}")
         print("  POST /v1/predict | /v1/logits | /v1/intensity ; "
               "GET /healthz | /v1/model   (Ctrl-C stops)")
         try:
@@ -275,7 +291,7 @@ def _cmd_bench_serve(args) -> int:
                 from .utils.serialization import load_model
 
                 reference = load_model(artifact).inference_engine(
-                    precision=args.precision
+                    precision=server.resolved_precision()
                 )
                 served = server.predict(samples)
                 expected = np.stack([

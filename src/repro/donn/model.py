@@ -135,8 +135,17 @@ class DONN(Module):
     # Encoding & forward
     # ------------------------------------------------------------------
     def encode(self, images: np.ndarray) -> Tensor:
-        """Amplitude-encode raw images onto the source field."""
-        return Tensor(encode_amplitude(images, self.config.n))
+        """Amplitude-encode raw images onto the source field.
+
+        Encodes at the active :mod:`repro.backend` precision, so a
+        single-precision training scope feeds complex64 fields into the
+        stack instead of round-tripping through complex128.
+        """
+        from ..backend import get_precision
+
+        return Tensor(encode_amplitude(
+            images, self.config.n, dtype=get_precision().complex_dtype
+        ))
 
     def _as_field(self, inputs) -> Tensor:
         if isinstance(inputs, Tensor):
@@ -250,18 +259,21 @@ class DONN(Module):
     # ------------------------------------------------------------------
     # Persistence (the serving artifact format)
     # ------------------------------------------------------------------
-    def save(self, path, metadata=None):
+    def save(self, path, metadata=None, precision=None):
         """Persist this model as a self-contained, versioned artifact.
 
         Stores the full config (geometry, detector layout,
         parametrization), the *raw* parameter arrays (so a reload is
         bit-identical — 0 ULP, test-enforced) and any sparsity masks.
-        Returns the written path; reload with :meth:`DONN.load` or serve
-        it via :class:`repro.serve.ModelStore`.
+        ``precision`` optionally records the training precision, which
+        becomes the serving default for this artifact.  Returns the
+        written path; reload with :meth:`DONN.load` or serve it via
+        :class:`repro.serve.ModelStore`.
         """
         from ..utils.serialization import save_model
 
-        return save_model(path, self, metadata=metadata)
+        return save_model(path, self, metadata=metadata,
+                          precision=precision)
 
     @classmethod
     def load(cls, path) -> "DONN":

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..autodiff import Adam, Optimizer, Tensor
 from ..autodiff import functional as F
+from ..backend import precision_scope, resolve_precision
 from ..data.loaders import DataLoader
 from .evaluation import accuracy
 from .model import DONN
@@ -59,6 +60,12 @@ class Trainer:
         Differentiable penalties added to the classification loss — e.g.
         ``RoughnessRegularizer`` (p * R) and ``IntraBlockRegularizer``
         (q * R_intra).
+    precision:
+        ``"double"`` (complex128, the reference), ``"single"``
+        (complex64 — the fused op, input encoding and optimizer state
+        all run at float32 width, roughly halving FFT memory traffic)
+        or ``None`` to follow the ambient :mod:`repro.backend` policy.
+        :meth:`fit` accepts a per-call override.
     """
 
     def __init__(
@@ -66,19 +73,29 @@ class Trainer:
         model: DONN,
         optimizer: Optional[Optimizer] = None,
         regularizers: Sequence[Regularizer] = (),
+        precision: Optional[str] = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer or Adam(model.parameters(), lr=0.2)
         self.regularizers = list(regularizers)
+        if precision is not None:
+            resolve_precision(precision)  # validate eagerly
+        self.precision = precision
 
     # ------------------------------------------------------------------
     # Loss
     # ------------------------------------------------------------------
     def loss(self, images: np.ndarray, labels: np.ndarray) -> tuple:
-        """Return ``(total, classification, regularization)`` tensors."""
-        total, classification, reg_total, _ = self._loss_with_logits(
-            images, labels
-        )
+        """Return ``(total, classification, regularization)`` tensors.
+
+        Runs under the trainer's precision policy (like
+        :meth:`train_epoch`), so a manual loss/backward/step loop gets
+        the same dtypes a fit would.
+        """
+        with precision_scope(self.precision):
+            total, classification, reg_total, _ = self._loss_with_logits(
+                images, labels
+            )
         return total, classification, reg_total
 
     def _loss_with_logits(self, images: np.ndarray,
@@ -101,7 +118,16 @@ class Trainer:
     # Epoch driver
     # ------------------------------------------------------------------
     def train_epoch(self, loader: DataLoader) -> Dict[str, float]:
-        """One pass over ``loader``; returns epoch-mean metrics."""
+        """One pass over ``loader``; returns epoch-mean metrics.
+
+        Runs under the trainer's precision policy: every fused forward/
+        backward FFT, the input encoding and the optimizer state use the
+        policy's dtypes for the duration of the epoch.
+        """
+        with precision_scope(self.precision):
+            return self._train_epoch(loader)
+
+    def _train_epoch(self, loader: DataLoader) -> Dict[str, float]:
         totals = {"loss": 0.0, "classification": 0.0, "regularization": 0.0}
         correct = 0
         seen = 0
@@ -138,12 +164,34 @@ class Trainer:
         epochs: int,
         test_loader: Optional[DataLoader] = None,
         verbose: bool = False,
+        precision: Optional[str] = None,
     ) -> TrainingHistory:
-        """Train for ``epochs`` passes; optionally track test accuracy."""
+        """Train for ``epochs`` passes; optionally track test accuracy.
+
+        ``precision`` overrides the trainer's policy for this fit only
+        (``fit(..., precision="single")`` runs the whole optimization —
+        fused FFTs, encoding, optimizer state, the per-epoch evaluation
+        engine — in complex64/float32).
+        """
         if epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if precision is not None:
+            resolve_precision(precision)  # validate before training
+        previous_precision = self.precision
+        if precision is not None:
+            self.precision = precision
+        try:
+            return self._fit(train_loader, epochs, test_loader, verbose)
+        finally:
+            self.precision = previous_precision
+
+    def _fit(self, train_loader, epochs, test_loader,
+             verbose) -> TrainingHistory:
         history = TrainingHistory()
         engine = None
+        # The evaluation engine mirrors the training precision, so the
+        # per-epoch test accuracy reflects the numbers training saw.
+        engine_precision = resolve_precision(self.precision).name
         for epoch in range(epochs):
             metrics = self.train_epoch(train_loader)
             history.loss.append(metrics["loss"])
@@ -155,7 +203,9 @@ class Trainer:
                 # the phases in place, keeping the cached kernels and
                 # scratch buffers instead of recompiling every epoch.
                 if engine is None:
-                    engine = self.model.inference_engine()
+                    engine = self.model.inference_engine(
+                        precision=engine_precision
+                    )
                 else:
                     engine.refresh()
                 history.test_accuracy.append(accuracy(engine, test_loader))

@@ -22,12 +22,32 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
-from scipy import ndimage
 
 from . import constants
 from .fabrication import phase_to_thickness, thickness_to_phase
 
 __all__ = ["CrosstalkModel"]
+
+
+def _convolve3x3_nearest(image: np.ndarray,
+                         kernel: np.ndarray) -> np.ndarray:
+    """3x3 convolution with replicated (nearest) edges, in pure numpy.
+
+    Nine shifted views of an edge-padded copy, weighted and summed —
+    equivalent to a general convolution for the symmetric coupling
+    kernel, without pulling a scipy dependency into the package's
+    import graph (the FFT backend layer must keep the whole package
+    importable with scipy absent).
+    """
+    rows, cols = image.shape
+    padded = np.pad(image, 1, mode="edge")
+    out = np.zeros_like(image)
+    for di in range(3):
+        for dj in range(3):
+            weight = kernel[di, dj]
+            if weight:
+                out += weight * padded[di:di + rows, dj:dj + cols]
+    return out
 
 
 def _coupling_kernel(strength: float) -> np.ndarray:
@@ -86,8 +106,8 @@ class CrosstalkModel:
         if self.strength == 0.0:
             return np.array(thickness, copy=True)
         kernel = _coupling_kernel(self.strength)
-        return ndimage.convolve(np.asarray(thickness, dtype=float), kernel,
-                                mode="nearest")
+        return _convolve3x3_nearest(np.asarray(thickness, dtype=float),
+                                    kernel)
 
     def step_magnitude(self, thickness: np.ndarray) -> np.ndarray:
         """Mean absolute thickness step to the 4 adjacent pixels."""

@@ -13,6 +13,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..backend import fftfreq
 from . import constants
 
 __all__ = ["SimulationGrid"]
@@ -70,10 +71,10 @@ class SimulationGrid:
     def frequencies(self) -> Tuple[np.ndarray, np.ndarray]:
         """Return spatial-frequency grids ``(fx, fy)`` in cycles/meter.
 
-        Uses the un-shifted FFT ordering so results align with
-        ``np.fft.fft2`` output bins.
+        Uses the un-shifted FFT ordering so results align with the
+        output bins of an unshifted 2-D FFT.
         """
-        freq = np.fft.fftfreq(self.n, d=self.pixel_pitch)
+        freq = fftfreq(self.n, d=self.pixel_pitch)
         return np.meshgrid(freq, freq, indexing="xy")
 
     def fresnel_number(self, distance: float) -> float:

@@ -31,6 +31,7 @@ from ..autodiff import Tensor, as_tensor
 from ..autodiff import fused as _fused
 from ..autodiff import ops
 from ..autodiff.fft import fft2, ifft2
+from ..backend import dispatch as _backend
 from .grid import SimulationGrid
 
 __all__ = [
@@ -105,7 +106,9 @@ def fraunhofer_pattern(field: np.ndarray, grid: SimulationGrid,
     if distance <= 0:
         raise ValueError("Fraunhofer pattern requires a positive distance")
     k = grid.wavenumber
-    scaled = np.fft.fftshift(np.fft.fft2(np.fft.ifftshift(field), norm="ortho"))
+    scaled = _backend.fftshift(
+        _backend.fft2(_backend.ifftshift(field), norm="ortho")
+    )
     prefactor = np.exp(1j * k * distance) / (1j * grid.wavelength * distance)
     return prefactor * scaled
 

@@ -67,8 +67,15 @@ class ExperimentConfig:
     slr: SLRConfig = field(default_factory=SLRConfig)
     # Post-training smoothing.
     twopi: TwoPiConfig = field(default_factory=TwoPiConfig)
+    # Training compute precision ("double" = complex128 reference,
+    # "single" = complex64 fast path); scoring/2-pi stages always run
+    # in double so table numbers stay comparable across precisions.
+    precision: str = "double"
 
     def __post_init__(self) -> None:
+        from ..backend import resolve_precision
+
+        resolve_precision(self.precision)  # validate eagerly
         if self.family not in _FAMILY_TO_PAPER:
             raise ValueError(
                 f"unknown family {self.family!r}; expected one of "

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..autodiff import Adam
 from ..autodiff.rng import seed_all, spawn_rng
+from ..backend import precision_scope
 from ..data import DataLoader, Dataset, make_dataset
 from ..donn import DONN, Trainer, accuracy
 from ..roughness import (
@@ -128,26 +129,35 @@ def run_recipe(
     regularizers = _regularizers(recipe, config)
 
     # --- Stage 1: (roughness-aware) dense training.
+    # Both training stages run under the config's precision policy
+    # (``"single"`` = complex64 fused FFTs + float32 optimizer state);
+    # scoring below always runs in double so table numbers stay
+    # comparable across precisions.
     trainer = Trainer(
         model,
         Adam(model.parameters(), lr=config.baseline_lr),
         regularizers=regularizers,
+        precision=config.precision,
     )
     trainer.fit(loader, epochs=config.baseline_epochs, verbose=verbose)
 
     # --- Stage 2: SLR block sparsification for the sparse recipes.
     sparsity = 0.0
     if recipe in ("ours_b", "ours_c", "ours_d"):
-        sparsifier = SLRSparsifier(model, loader, config.slr,
-                                   regularizers=regularizers)
-        result = sparsifier.run(verbose=verbose)
+        with precision_scope(config.precision):
+            sparsifier = SLRSparsifier(model, loader, config.slr,
+                                       regularizers=regularizers)
+            result = sparsifier.run(verbose=verbose)
         sparsity = result.sparsity
 
     # --- Scoring: accuracy, roughness before / after 2-pi smoothing.
-    test_accuracy = accuracy(model, test)
-    before = model_roughness(model, k=config.roughness_k).overall
-    solutions = TwoPiOptimizer(config.twopi).optimize_model(model)
-    after = float(np.mean([s.roughness_after for s in solutions]))
+    # Pinned to double regardless of the ambient policy (REPRO_PRECISION
+    # included), so table numbers stay comparable across precisions.
+    with precision_scope("double"):
+        test_accuracy = accuracy(model, test)
+        before = model_roughness(model, k=config.roughness_k).overall
+        solutions = TwoPiOptimizer(config.twopi).optimize_model(model)
+        after = float(np.mean([s.roughness_after for s in solutions]))
 
     return RecipeResult(
         recipe=recipe,

@@ -81,16 +81,22 @@ class TableResult:
 _WORKER_DATA: Optional[Tuple[Dataset, Dataset]] = None
 
 
-def _init_worker(data: Tuple[Dataset, Dataset], fused_on: bool) -> None:
+def _init_worker(data: Tuple[Dataset, Dataset], fused_on: bool,
+                 backend_name: str, precision_name: str) -> None:
     """Pool initializer: stash the shared dataset and mirror the parent's
-    fused-fast-path flag (spawn-based platforms re-import the package, so
-    a programmatic ``set_fused_enabled`` toggle would otherwise be lost —
-    and with it the byte-identical-to-serial guarantee)."""
+    process-wide toggles — the fused-fast-path flag, the FFT backend and
+    the ambient precision policy (spawn-based platforms re-import the
+    package, so programmatic ``set_fused_enabled`` / ``set_backend`` /
+    ``set_precision`` calls would otherwise be lost — and with them the
+    byte-identical-to-serial guarantee)."""
     global _WORKER_DATA
     _WORKER_DATA = data
     from ..autodiff import fused
+    from ..backend import set_backend, set_precision
 
     fused.set_fused_enabled(fused_on)
+    set_backend(backend_name)
+    set_precision(precision_name)
 
 
 def _recipe_task(task: tuple) -> RecipeResult:
@@ -117,12 +123,14 @@ def _map_recipes(tasks: List[tuple], data: Tuple[Dataset, Dataset],
     from concurrent.futures import ProcessPoolExecutor
 
     from ..autodiff import fused
+    from ..backend import backend_name, get_precision
 
     workers = min(int(max_workers), len(tasks))
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
-        initargs=(data, fused.fused_enabled()),
+        initargs=(data, fused.fused_enabled(), backend_name(),
+                  get_precision().name),
     ) as pool:
         futures = [pool.submit(_recipe_task, task) for task in tasks]
         return [future.result() for future in futures]

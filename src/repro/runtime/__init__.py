@@ -18,6 +18,7 @@ from .kernel_cache import (
     clear_kernel_cache,
     get_kernel,
     get_transfer_function,
+    kernel_for_dtype,
     set_cache_limit,
 )
 
@@ -28,6 +29,7 @@ __all__ = [
     "PropagationKernel",
     "get_kernel",
     "get_transfer_function",
+    "kernel_for_dtype",
     "cache_info",
     "clear_kernel_cache",
     "set_cache_limit",

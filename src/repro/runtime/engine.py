@@ -28,17 +28,13 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 import numpy as np
-from scipy import fft as _fft
 
+from ..backend import PRECISIONS
+from ..backend import dispatch as _fft
 from .buffers import ScratchBuffers
-from .kernel_cache import PropagationKernel, get_kernel
+from .kernel_cache import PropagationKernel, get_kernel, kernel_for_dtype
 
 __all__ = ["InferenceEngine"]
-
-_PRECISIONS = {
-    "double": (np.complex128, np.float64),
-    "single": (np.complex64, np.float32),
-}
 
 
 class InferenceEngine:
@@ -64,7 +60,8 @@ class InferenceEngine:
         single-core FFT throughput while bounding scratch memory at
         ``64 * padded_n^2`` complex elements.
     workers:
-        Forwarded to :func:`scipy.fft.fft2` (None = single-threaded).
+        Forwarded to the :mod:`repro.backend` FFT wrappers (None = the
+        backend's process-wide default; ignored on the numpy fallback).
     buffers:
         Optional shared :class:`ScratchBuffers` pool (so many short-lived
         engines over one model reuse the same scratch memory).
@@ -79,26 +76,36 @@ class InferenceEngine:
         workers: Optional[int] = None,
         buffers: Optional[ScratchBuffers] = None,
     ) -> None:
-        if precision not in _PRECISIONS:
+        if precision not in PRECISIONS:
             raise ValueError(
                 f"unknown precision {precision!r}; expected one of "
-                f"{sorted(_PRECISIONS)}"
+                f"{sorted(PRECISIONS)}"
             )
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        policy = PRECISIONS[precision]
         self.model = model
         self.precision = precision
         self.max_batch = int(max_batch)
         self.workers = workers
-        self._cdtype, self._rdtype = _PRECISIONS[precision]
+        self._cdtype = policy.complex_dtype
+        self._rdtype = policy.real_dtype
         self._buffers = buffers if buffers is not None else ScratchBuffers()
 
         self.n = int(model.config.n)
-        #: One shared kernel per hop: L layer hops + the detector hop.
+        #: One shared kernel per hop (L layer hops + the detector hop),
+        #: materialized at the engine's precision through the cache — a
+        #: ``"single"`` engine shares one complex64 kernel per geometry
+        #: instead of downcasting a complex128 array per build.
         self._kernels: List[PropagationKernel] = [
-            self._hop_kernel(layer.propagator) for layer in model.layers
+            kernel_for_dtype(self._hop_kernel(layer.propagator),
+                             self._cdtype)
+            for layer in model.layers
         ]
-        self._kernels.append(self._hop_kernel(model.to_detector))
+        self._kernels.append(
+            kernel_for_dtype(self._hop_kernel(model.to_detector),
+                             self._cdtype)
+        )
         pads = {k.pad for k in self._kernels}
         sides = {k.padded_n for k in self._kernels}
         if len(pads) != 1 or len(sides) != 1:
@@ -110,13 +117,10 @@ class InferenceEngine:
         self._padded_n = sides.pop()
         # The per-hop ortho scaling is folded into the shared kernel
         # (``PropagationKernel.prescaled``), so the hot loop runs
-        # unscaled DFT passes; in double precision the prescaled array
-        # is shared as-is with every other engine and the fused
-        # training op (no copy).
-        self._hs = [
-            np.asarray(kernel.prescaled(), dtype=self._cdtype)
-            for kernel in self._kernels
-        ]
+        # unscaled DFT passes; the prescaled array is shared as-is with
+        # every other same-precision engine and the fused training op
+        # (no copy in either precision).
+        self._hs = [kernel.prescaled() for kernel in self._kernels]
 
         detector = model.detector
         if detector.layout.n != self.n:

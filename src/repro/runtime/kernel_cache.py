@@ -4,14 +4,22 @@ Every :class:`~repro.optics.propagation.Propagator` — and there are
 ``L + 1`` of them in an ``L``-layer DONN (one per diffractive layer plus
 the detector hop) — historically rebuilt an identical angular-spectrum
 transfer function ``H`` on the padded grid.  ``H`` depends only on the
-sampling geometry and the hop, so this module memoizes it process-wide
-under the key::
+sampling geometry, the hop and the compute dtype, so this module
+memoizes it process-wide under the key::
 
-    (n, pixel_pitch, wavelength, distance, method, pad_factor, band_limit)
+    (n, pixel_pitch, wavelength, distance, method, pad_factor,
+     band_limit, dtype)
 
 where ``n`` is the *unpadded* mask resolution.  A 3-layer DONN therefore
 computes exactly one kernel; so does every :class:`InferenceEngine`,
 exhaustive sweep, or deployment simulation that shares the geometry.
+
+Kernels are materialized **per precision**: the canonical complex128
+kernel is computed from the physics once, and a complex64 variant (for
+``precision="single"`` engines and single-precision training) is a
+one-time downcast cached under its own key — single-precision consumers
+share one complex64 array instead of each downcasting a complex128
+kernel per engine build (:func:`kernel_for_dtype`).
 
 Cached arrays are returned with ``writeable=False`` so that accidental
 in-place mutation by one consumer cannot corrupt every other holder of
@@ -34,6 +42,7 @@ __all__ = [
     "PropagationKernel",
     "get_kernel",
     "get_transfer_function",
+    "kernel_for_dtype",
     "cache_info",
     "clear_kernel_cache",
     "set_cache_limit",
@@ -41,8 +50,12 @@ __all__ = [
 
 _METHODS = ("angular_spectrum", "fresnel")
 
-#: Geometry key uniquely identifying one transfer function.
-KernelKey = Tuple[int, float, float, float, str, int, bool]
+#: Geometry-plus-dtype key uniquely identifying one transfer function.
+KernelKey = Tuple[int, float, float, float, str, int, bool, str]
+
+#: The canonical dtype the physics is computed in; other precisions are
+#: one-time downcasts of this kernel.
+_CANONICAL_DTYPE = np.dtype(np.complex128)
 
 _lock = threading.RLock()
 _cache: "OrderedDict[KernelKey, PropagationKernel]" = OrderedDict()
@@ -58,9 +71,10 @@ class PropagationKernel:
     Attributes
     ----------
     key:
-        The geometry tuple the kernel was built under.
+        The geometry-plus-dtype tuple the kernel was built under.
     h:
-        Complex128 transfer function on the padded grid (read-only).
+        Transfer function on the padded grid at the key's dtype
+        (read-only).
     pad:
         Pixels of zero-padding per side; the padded side length is
         ``n + 2 * pad``.
@@ -76,6 +90,11 @@ class PropagationKernel:
     @property
     def padded_n(self) -> int:
         return self.h.shape[-1]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Complex dtype this kernel was materialized at."""
+        return self.h.dtype
 
     def prescaled(self) -> np.ndarray:
         """``H / padded_n**2`` (read-only), computed once per kernel.
@@ -111,6 +130,7 @@ def make_key(
     method: str = "angular_spectrum",
     pad_factor: int = 2,
     band_limit: bool = True,
+    dtype=np.complex128,
 ) -> KernelKey:
     """Normalize geometry parameters into the canonical cache key."""
     if method not in _METHODS:
@@ -120,6 +140,11 @@ def make_key(
         )
     if pad_factor < 1:
         raise ValueError(f"pad_factor must be >= 1, got {pad_factor}")
+    dtype = np.dtype(dtype)
+    if dtype.kind != "c":
+        raise ValueError(
+            f"kernel dtype must be complex, got {dtype}"
+        )
     return (
         int(grid.n),
         float(grid.pixel_pitch),
@@ -128,6 +153,7 @@ def make_key(
         method,
         int(pad_factor),
         bool(band_limit),
+        dtype.name,
     )
 
 
@@ -140,8 +166,18 @@ def _pad_pixels(n: int, pad_factor: int) -> int:
 def _compute(key: KernelKey) -> PropagationKernel:
     from ..optics import propagation  # local import: optics <-> runtime
 
-    n, pitch, wavelength, distance, method, pad_factor, band_limit = key
+    (n, pitch, wavelength, distance, method, pad_factor, band_limit,
+     dtype_name) = key
     grid = SimulationGrid(n=n, pixel_pitch=pitch, wavelength=wavelength)
+    if np.dtype(dtype_name) != _CANONICAL_DTYPE:
+        # Non-canonical precisions are one-time downcasts of the shared
+        # complex128 kernel (computed or fetched through the cache), so
+        # the physics is evaluated exactly once per geometry.
+        base = get_kernel(grid, distance, method=method,
+                          pad_factor=pad_factor, band_limit=band_limit)
+        h = base.h.astype(dtype_name)
+        h.flags.writeable = False
+        return PropagationKernel(key=key, h=h, pad=base.pad, grid=base.grid)
     pad = _pad_pixels(n, pad_factor)
     padded_grid = SimulationGrid(
         n=n + 2 * pad, pixel_pitch=pitch, wavelength=wavelength
@@ -160,10 +196,11 @@ def get_kernel(
     method: str = "angular_spectrum",
     pad_factor: int = 2,
     band_limit: bool = True,
+    dtype=np.complex128,
 ) -> PropagationKernel:
-    """Fetch (or compute once) the shared kernel for a geometry."""
+    """Fetch (or compute once) the shared kernel for a geometry/dtype."""
     global _hits, _misses
-    key = make_key(grid, distance, method, pad_factor, band_limit)
+    key = make_key(grid, distance, method, pad_factor, band_limit, dtype)
     with _lock:
         kernel = _cache.get(key)
         if kernel is not None:
@@ -194,6 +231,24 @@ def get_transfer_function(
 ) -> np.ndarray:
     """The shared (read-only) padded-grid ``H`` for a geometry."""
     return get_kernel(grid, distance, method, pad_factor, band_limit).h
+
+
+def kernel_for_dtype(kernel: PropagationKernel, dtype) -> PropagationKernel:
+    """The same physical kernel materialized at ``dtype``.
+
+    Returns ``kernel`` itself when the dtype already matches; otherwise
+    fetches (or downcasts once) the per-precision variant through the
+    cache, so e.g. every ``precision="single"`` engine shares one
+    complex64 array.
+    """
+    dtype = np.dtype(dtype)
+    if kernel.dtype == dtype:
+        return kernel
+    distance, method, pad_factor, band_limit = kernel.key[3:7]
+    return get_kernel(
+        kernel.grid, distance, method=method, pad_factor=pad_factor,
+        band_limit=band_limit, dtype=dtype,
+    )
 
 
 def cache_info() -> Dict[str, int]:

@@ -24,7 +24,7 @@ See ``docs/serving.md`` for the architecture and the artifact format.
 from .batching import BatcherStats, MicroBatcher
 from .bench import benchmark_serving, http_sender, run_load, write_snapshot
 from .http import HTTPFrontend
-from .server import ServeConfig, Server
+from .server import ResultCache, ServeConfig, Server
 from .store import ModelStore, resolve_artifact
 from .workers import REQUEST_KINDS, ShardedPool
 
@@ -37,6 +37,7 @@ __all__ = [
     "REQUEST_KINDS",
     "Server",
     "ServeConfig",
+    "ResultCache",
     "HTTPFrontend",
     "benchmark_serving",
     "http_sender",

@@ -25,9 +25,12 @@ Typical use::
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import os
 import tempfile
 import threading
+from collections import OrderedDict
+from concurrent.futures import Future
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
@@ -38,19 +41,29 @@ from .batching import MicroBatcher
 from .store import resolve_artifact
 from .workers import REQUEST_KINDS, ShardedPool
 
-__all__ = ["ServeConfig", "Server"]
+__all__ = ["ServeConfig", "Server", "ResultCache"]
 
 
 @dataclass(frozen=True)
 class ServeConfig:
     """Knobs of one serving deployment.
 
+    ``precision=None`` (the default) means "whatever the artifact was
+    trained at": the artifact header's recorded training precision, or
+    ``"double"`` when it carries none (and for live models).
+
     ``engine_batch`` (the engine's internal chunk size) defaults to
     ``max(64, max_batch)`` so a full frontend flush always runs as a
     single engine chunk.
+
+    ``cache_size`` > 0 enables a small LRU result cache keyed by the
+    request's input bytes: repeated identical requests short-circuit the
+    batcher/engine entirely (hits are byte-identical to misses,
+    test-enforced).  Off by default so throughput benchmarks measure the
+    engine, not the cache.
     """
 
-    precision: str = "double"
+    precision: Optional[str] = None
     max_batch: int = 32
     max_delay: float = 0.002
     shards: int = 1
@@ -58,11 +71,75 @@ class ServeConfig:
     engine_batch: Optional[int] = None
     host: str = "127.0.0.1"
     port: int = 8000
+    cache_size: int = 0
 
     def resolved_engine_batch(self) -> int:
         if self.engine_batch is not None:
             return int(self.engine_batch)
         return max(64, int(self.max_batch))
+
+
+class ResultCache:
+    """A tiny thread-safe LRU of request results keyed by input bytes.
+
+    The key is ``(kind, shape, dtype, sha1(input bytes))``, so two
+    requests only collide when their payloads are byte-identical — in
+    which case the engine is deterministic and the cached row *is* the
+    row the engine would produce.  Stored rows are private read-only
+    copies taken *before* the caller's future resolves, and hits are
+    delivered as fresh writeable copies — so a caller mutating its
+    result can never poison later hits, and hit rows behave exactly
+    like miss rows.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError(
+                f"cache size must be >= 1, got {max_entries}"
+            )
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def make_key(kind: str, sample: np.ndarray) -> tuple:
+        sample = np.ascontiguousarray(sample)
+        digest = hashlib.sha1(sample.tobytes()).digest()
+        return (kind, sample.shape, sample.dtype.str, digest)
+
+    def get(self, key: tuple) -> Optional[np.ndarray]:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: tuple, value: np.ndarray) -> None:
+        value = np.array(value, copy=True)
+        value.flags.writeable = False
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "max_entries": self.max_entries,
+            }
 
 
 class Server:
@@ -105,6 +182,7 @@ class Server:
         self._model = model
         self._metadata = dict(metadata or {})
         self._pool: Optional[ShardedPool] = None
+        self._cache: Optional[ResultCache] = None
         self._batcher: Optional[MicroBatcher] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._loop_thread: Optional[threading.Thread] = None
@@ -131,8 +209,11 @@ class Server:
                 artifact=self.artifact,
                 shards=cfg.shards,
                 backend=cfg.backend,
-                precision=cfg.precision,
+                precision=self.resolved_precision(),
                 engine_batch=cfg.resolved_engine_batch(),
+            )
+            self._cache = (
+                ResultCache(cfg.cache_size) if cfg.cache_size > 0 else None
             )
             self._loop = asyncio.new_event_loop()
             self._loop_thread = threading.Thread(
@@ -175,7 +256,7 @@ class Server:
             loop.call_soon_threadsafe(loop.stop)
             self._loop_thread.join(timeout=10)
             loop.close()
-            self._loop = self._batcher = self._pool = None
+            self._loop = self._batcher = self._pool = self._cache = None
         if self._owns_artifact and self.artifact is not None:
             self._owns_artifact = False
             try:
@@ -192,16 +273,66 @@ class Server:
     # ------------------------------------------------------------------
     # Request path (thread-safe, blocking)
     # ------------------------------------------------------------------
+    def resolved_precision(self) -> str:
+        """The engine precision this deployment serves at.
+
+        An explicit ``ServeConfig.precision`` always wins; otherwise
+        the artifact header's recorded training precision; ``"double"``
+        for headerless/live models and artifacts predating the field.
+        """
+        if self.config.precision is not None:
+            return self.config.precision
+        if self._header is not None:
+            recorded = self._header.get("precision")
+            if recorded:
+                return recorded
+        return "double"
+
     def submit(self, kind: str, sample):
         """Enqueue one sample; returns a ``concurrent.futures.Future``
-        resolving to its row of the coalesced result."""
+        resolving to its row of the coalesced result.
+
+        With ``cache_size`` enabled, a byte-identical repeat of an
+        earlier request resolves immediately from the LRU result cache
+        without touching the batcher or an engine.
+        """
         self.start()
         batcher = self._batcher  # stop() may null the attribute anytime
         if batcher is None:
             raise RuntimeError(
                 "server was stopped; build a new Server to serve again"
             )
-        return batcher.submit_nowait(kind, sample)
+        cache = self._cache
+        if cache is None:
+            return batcher.submit_nowait(kind, sample)
+        sample = np.asarray(getattr(sample, "data", sample))
+        key = ResultCache.make_key(kind, sample)
+        hit = cache.get(key)
+        if hit is not None:
+            resolved: Future = Future()
+            # A fresh writeable copy per hit: callers may mutate their
+            # row in place, exactly as they can on the miss path.
+            resolved.set_result(np.array(hit, copy=True))
+            return resolved
+        inner = batcher.submit_nowait(kind, sample)
+        future: Future = Future()
+
+        def _deliver(done) -> None:
+            # Runs on the worker thread delivering the batch.  The row
+            # is copied into the cache *before* the outer future
+            # resolves — a client waking from result() and mutating its
+            # row in place cannot race the cache copy.  Failed requests
+            # are simply not cached.
+            try:
+                row = done.result()
+            except BaseException as exc:  # noqa: BLE001 — forwarded
+                future.set_exception(exc)
+                return
+            cache.put(key, np.asarray(row))
+            future.set_result(row)
+
+        inner.add_done_callback(_deliver)
+        return future
 
     def _request(self, kind: str, inputs) -> np.ndarray:
         inputs = np.asarray(getattr(inputs, "data", inputs))
@@ -255,7 +386,8 @@ class Server:
         cfg = self.config
         info: Dict[str, Any] = {
             "artifact": str(self.artifact) if self.artifact else None,
-            "precision": cfg.precision,
+            "precision": self.resolved_precision(),
+            "cache_size": cfg.cache_size,
             "max_batch": cfg.max_batch,
             "max_delay": cfg.max_delay,
             "shards": cfg.shards,
@@ -282,11 +414,14 @@ class Server:
     def stats(self) -> Dict[str, Any]:
         if not self._started:
             return {"started": False}
-        return {
+        stats: Dict[str, Any] = {
             "started": True,
             "batcher": self._batcher.stats.as_dict(),
             "pool": self._pool.stats(),
         }
+        if self._cache is not None:
+            stats["cache"] = self._cache.stats()
+        return stats
 
     def __repr__(self) -> str:
         return (

@@ -86,11 +86,17 @@ class ModelStore:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, name: str, model,
-             metadata: Optional[Dict[str, Any]] = None) -> Path:
-        """Persist ``model`` under ``name``; returns the written path."""
+             metadata: Optional[Dict[str, Any]] = None,
+             precision: Optional[str] = None) -> Path:
+        """Persist ``model`` under ``name``; returns the written path.
+
+        ``precision`` optionally records the training precision in the
+        artifact header (the serving default for this artifact).
+        """
         path = self.path(name)
         path.parent.mkdir(parents=True, exist_ok=True)
-        return save_model(path, model, metadata=metadata)
+        return save_model(path, model, metadata=metadata,
+                          precision=precision)
 
     def load(self, name: str):
         """Rebuild the stored :class:`~repro.donn.model.DONN`."""

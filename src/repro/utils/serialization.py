@@ -104,6 +104,7 @@ def save_model(
     path: Union[str, Path],
     model,
     metadata: Optional[Dict[str, Any]] = None,
+    precision: Optional[str] = None,
 ) -> Path:
     """Write ``model`` (a :class:`~repro.donn.model.DONN`) as a versioned,
     self-contained artifact.
@@ -118,7 +119,10 @@ def save_model(
 
     ``metadata`` must be JSON-serializable (accuracy numbers, recipe
     names, training provenance — whatever the caller wants to carry).
-    Returns the written path.
+    ``precision`` records the precision the model was trained at
+    (``"double"`` / ``"single"``); :class:`repro.serve.Server` uses it
+    as the default engine precision when serving the artifact.  Returns
+    the written path.
     """
     from dataclasses import asdict
 
@@ -127,6 +131,10 @@ def save_model(
         # np.savez appends the suffix silently; normalize up front so
         # the returned path is the file that actually exists.
         path = path.with_name(path.name + ".npz")
+    if precision is not None:
+        from ..backend import resolve_precision
+
+        precision = resolve_precision(precision).name
     config = asdict(model.config)
     header = {
         "format": MODEL_FORMAT,
@@ -139,6 +147,10 @@ def save_model(
         ],
         "metadata": dict(metadata or {}),
     }
+    if precision is not None:
+        # Optional field: readers default absent to "double", so format
+        # version 1 artifacts stay readable in both directions.
+        header["precision"] = precision
     try:
         encoded = json.dumps(header, sort_keys=True)
     except (TypeError, ValueError) as exc:

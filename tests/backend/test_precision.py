@@ -1,0 +1,116 @@
+"""The process-wide precision policy object and its scoping."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    PRECISIONS,
+    Precision,
+    get_precision,
+    precision_scope,
+    resolve_precision,
+    set_precision,
+)
+from repro.backend import precision as precision_module
+
+
+@pytest.fixture(autouse=True)
+def restore_precision():
+    yield
+    set_precision("double")
+
+
+class TestTable:
+    def test_double_policy(self):
+        policy = PRECISIONS["double"]
+        assert policy.complex_dtype == np.dtype(np.complex128)
+        assert policy.real_dtype == np.dtype(np.float64)
+        assert not policy.is_single
+
+    def test_single_policy(self):
+        policy = PRECISIONS["single"]
+        assert policy.complex_dtype == np.dtype(np.complex64)
+        assert policy.real_dtype == np.dtype(np.float32)
+        assert policy.is_single
+
+    def test_single_tolerances_are_looser(self):
+        single, double = PRECISIONS["single"], PRECISIONS["double"]
+        assert single.forward_atol > double.forward_atol
+        assert single.grad_rtol > double.grad_rtol
+        assert single.gradcheck_eps > double.gradcheck_eps
+
+
+class TestResolution:
+    def test_string_lookup(self):
+        assert resolve_precision("single") is PRECISIONS["single"]
+        assert resolve_precision("double") is PRECISIONS["double"]
+
+    def test_passthrough(self):
+        policy = PRECISIONS["single"]
+        assert resolve_precision(policy) is policy
+
+    def test_none_means_ambient(self):
+        set_precision("single")
+        assert resolve_precision(None) is PRECISIONS["single"]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_precision("half")
+        with pytest.raises(ValueError):
+            set_precision("quad")
+        with pytest.raises(ValueError):
+            set_precision(None)
+
+
+class TestScope:
+    def test_default_is_double(self):
+        assert get_precision().name == "double"
+
+    def test_scope_installs_and_restores(self):
+        with precision_scope("single"):
+            assert get_precision().name == "single"
+        assert get_precision().name == "double"
+
+    def test_scope_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with precision_scope("single"):
+                raise RuntimeError("boom")
+        assert get_precision().name == "double"
+
+    def test_none_scope_is_a_noop(self):
+        set_precision("single")
+        with precision_scope(None):
+            assert get_precision().name == "single"
+        assert get_precision().name == "single"
+
+    def test_scope_as_decorator(self):
+        @precision_scope("single")
+        def active():
+            return get_precision().name
+
+        assert active() == "single"
+        assert get_precision().name == "double"
+
+    def test_nested_scopes(self):
+        with precision_scope("single"):
+            with precision_scope("double"):
+                assert get_precision().name == "double"
+            assert get_precision().name == "single"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PRECISION", "single")
+        precision_module._init_from_env()
+        assert get_precision().name == "single"
+        monkeypatch.delenv("REPRO_PRECISION")
+        precision_module._init_from_env()
+        assert get_precision().name == "double"
+
+
+class TestFrozen:
+    def test_policy_is_immutable(self):
+        with pytest.raises(Exception):
+            PRECISIONS["double"].name = "tampered"
+
+    def test_precision_is_hashable(self):
+        assert {PRECISIONS["double"], PRECISIONS["single"],
+                Precision(**vars(PRECISIONS["double"]))}

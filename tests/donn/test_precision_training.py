@@ -1,0 +1,108 @@
+"""End-to-end single-precision training: Trainer.fit(precision="single").
+
+The DONN objective is noise-tolerant far beyond float32 rounding, so a
+complex64 run of the seed quickstart task must land within one accuracy
+point of the complex128 run — that bound is the acceptance criterion
+for the single-precision training mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Adam
+from repro.autodiff.rng import seed_all, spawn_rng
+from repro.backend import get_precision, precision_scope
+from repro.data import DataLoader, make_dataset
+from repro.donn import DONN, DONNConfig, Trainer
+
+
+def fit_quickstart(precision, n=16, epochs=5):
+    """The seed quickstart task at test scale, at one precision."""
+    seed_all(0)
+    train, test = make_dataset("digits", 240, 300, seed=0)
+    loader = DataLoader(train, batch_size=60, seed=0)
+    test_loader = DataLoader(test, batch_size=300, seed=0)
+    model = DONN(DONNConfig.laptop(n=n), rng=spawn_rng(17))
+    trainer = Trainer(model, Adam(model.parameters(), lr=0.05))
+    history = trainer.fit(loader, epochs=epochs, test_loader=test_loader,
+                          precision=precision)
+    return model, trainer, history
+
+
+@pytest.fixture(scope="module")
+def runs():
+    _, _, double = fit_quickstart("double")
+    _, trainer, single = fit_quickstart("single")
+    return double, single, trainer
+
+
+class TestFitSinglePrecision:
+    def test_accuracy_within_one_point_of_double(self, runs):
+        double, single, _ = runs
+        assert abs(single.test_accuracy[-1] - double.test_accuracy[-1]) \
+            <= 0.01 + 1e-12
+
+    def test_training_actually_learns(self, runs):
+        _, single, _ = runs
+        assert single.train_accuracy[-1] > 0.5
+        assert single.loss[-1] < single.loss[0]
+
+    def test_history_is_finite(self, runs):
+        _, single, _ = runs
+        for series in single.as_dict().values():
+            assert np.all(np.isfinite(series))
+
+    def test_fit_override_does_not_stick(self, runs):
+        _, _, trainer = runs
+        # fit(precision=...) is a per-call override, not a mutation.
+        assert trainer.precision is None
+        assert get_precision().name == "double"
+
+    def test_optimizer_state_ran_in_float32(self, runs):
+        _, _, trainer = runs
+        assert all(m.dtype == np.float32 for m in trainer.optimizer._m)
+        assert all(v.dtype == np.float32 for v in trainer.optimizer._v)
+
+
+class TestTrainerPrecisionPlumbing:
+    def test_invalid_precision_rejected_eagerly(self):
+        model = DONN(DONNConfig.laptop(n=8), rng=spawn_rng(0))
+        with pytest.raises(ValueError):
+            Trainer(model, precision="half")
+        trainer = Trainer(model)
+        with pytest.raises(ValueError):
+            trainer.fit(DataLoader(make_dataset("digits", 10, 5,
+                                                seed=0)[0], batch_size=5),
+                        epochs=1, precision="half")
+
+    def test_train_epoch_scopes_trainer_precision(self):
+        seed_all(1)
+        train, _ = make_dataset("digits", 20, 5, seed=1)
+        model = DONN(DONNConfig.laptop(n=8), rng=spawn_rng(1))
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.05),
+                          precision="single")
+        trainer.train_epoch(DataLoader(train, batch_size=10, seed=1))
+        assert model.layers[0].phase.grad.dtype == np.float32
+        assert get_precision().name == "double"
+
+    def test_encoding_follows_precision_scope(self):
+        model = DONN(DONNConfig.laptop(n=8), rng=spawn_rng(2))
+        images = spawn_rng(3).random((2, 28, 28))
+        with precision_scope("single"):
+            assert model.encode(images).dtype == np.complex64
+        assert model.encode(images).dtype == np.complex128
+
+
+class TestExperimentConfigPrecision:
+    def test_default_is_double(self):
+        from repro.pipeline import ExperimentConfig
+
+        assert ExperimentConfig.laptop("digits").precision == "double"
+
+    def test_override_and_validation(self):
+        from repro.pipeline import ExperimentConfig
+
+        config = ExperimentConfig.laptop("digits", precision="single")
+        assert config.precision == "single"
+        with pytest.raises(ValueError):
+            ExperimentConfig.laptop("digits", precision="half")

@@ -105,7 +105,8 @@ class TestCrosstalkSeverity:
         # Inject the paper's remedy: a heavily smoothed copy of the masks
         # must lose less accuracy under identical crosstalk (relative to
         # its own ideal forward).
-        from scipy import ndimage
+        ndimage = pytest.importorskip(
+            "scipy.ndimage", reason="smoothing remedy needs scipy")
 
         model, test = trained_setup
         crosstalk = CrosstalkModel(strength=0.35)

@@ -1,0 +1,93 @@
+"""Per-precision kernel materialization in the shared cache."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.rng import spawn_rng
+from repro.donn import DONN, DONNConfig
+from repro.optics import SimulationGrid
+from repro.runtime import (
+    InferenceEngine,
+    cache_info,
+    clear_kernel_cache,
+    get_kernel,
+    kernel_for_dtype,
+)
+
+
+def make_grid(n=16):
+    return SimulationGrid(n=n, pixel_pitch=36e-6, wavelength=532e-9)
+
+
+class TestDtypeKeys:
+    def test_default_key_is_complex128(self):
+        clear_kernel_cache()
+        kernel = get_kernel(make_grid(), 1e-3)
+        assert kernel.dtype == np.complex128
+        assert kernel.key[-1] == "complex128"
+
+    def test_single_kernel_is_a_distinct_cached_entry(self):
+        clear_kernel_cache()
+        double = get_kernel(make_grid(), 1e-3)
+        single = get_kernel(make_grid(), 1e-3, dtype=np.complex64)
+        assert single is not double
+        assert single.dtype == np.complex64
+        assert single.pad == double.pad
+        # The downcast pulled the double kernel through the cache: two
+        # misses total (one per precision), then hits forever.
+        assert cache_info()["misses"] == 2
+        assert get_kernel(make_grid(), 1e-3, dtype=np.complex64) is single
+
+    def test_single_kernel_values_are_the_downcast_double(self):
+        clear_kernel_cache()
+        double = get_kernel(make_grid(), 1e-3)
+        single = get_kernel(make_grid(), 1e-3, dtype=np.complex64)
+        np.testing.assert_array_equal(
+            single.h, double.h.astype(np.complex64)
+        )
+        assert not single.h.flags.writeable
+
+    def test_prescaled_matches_kernel_dtype(self):
+        clear_kernel_cache()
+        single = get_kernel(make_grid(), 1e-3, dtype=np.complex64)
+        assert single.prescaled().dtype == np.complex64
+        assert single.prescaled_conj().dtype == np.complex64
+
+    def test_non_complex_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            get_kernel(make_grid(), 1e-3, dtype=np.float64)
+
+
+class TestKernelForDtype:
+    def test_same_dtype_returns_same_object(self):
+        clear_kernel_cache()
+        kernel = get_kernel(make_grid(), 1e-3)
+        assert kernel_for_dtype(kernel, np.complex128) is kernel
+
+    def test_cross_dtype_goes_through_the_cache(self):
+        clear_kernel_cache()
+        double = get_kernel(make_grid(), 1e-3)
+        single = kernel_for_dtype(double, np.complex64)
+        assert single is get_kernel(make_grid(), 1e-3, dtype=np.complex64)
+        assert kernel_for_dtype(single, np.complex128) is double
+
+
+class TestEngineSharing:
+    def test_single_engines_share_one_complex64_kernel(self):
+        clear_kernel_cache()
+        model = DONN(DONNConfig.laptop(n=16), rng=spawn_rng(0))
+        first = InferenceEngine(model, precision="single")
+        misses_after_first = cache_info()["misses"]
+        second = InferenceEngine(model, precision="single")
+        # No downcast per engine build: the complex64 kernel was
+        # materialized once and both engines hold the same array.
+        assert cache_info()["misses"] == misses_after_first == 2
+        assert first._hs[0] is second._hs[0]
+        assert first._hs[0].dtype == np.complex64
+
+    def test_double_engine_still_reuses_propagator_kernels(self):
+        clear_kernel_cache()
+        model = DONN(DONNConfig.laptop(n=16), rng=spawn_rng(1))
+        engine = InferenceEngine(model)
+        assert engine._kernels[0] is model.layers[0].propagator.kernel
+        assert cache_info()["misses"] == 1

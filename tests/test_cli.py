@@ -32,11 +32,13 @@ class TestParser:
 
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve", "--model", "m.npz"])
-        assert args.precision == "double"
+        # None = "the precision recorded in the artifact, else double".
+        assert args.precision is None
         assert args.max_batch == 32
         assert args.shards == 1
         assert args.backend == "thread"
         assert args.port == 8000
+        assert args.cache_size == 0
 
     def test_serve_knobs(self):
         args = build_parser().parse_args([
