@@ -2,15 +2,22 @@
 
 Commands
 --------
+* ``run``         — run any registered recipe or a JSON/TOML experiment
+  file; writes a self-describing run directory (``docs/experiments.md``);
+* ``report``      — re-render paper-style tables from stored run
+  directories, no recompute;
 * ``quickstart``  — train a small DONN and print accuracy/roughness;
 * ``recipe``      — run one of the paper's recipes (baseline, ours_a..d);
 * ``table``       — reproduce a full paper table (five recipes);
 * ``solvers``     — compare the 2-pi solvers (Gumbel-Softmax vs greedy)
   on a trained, sparsified mask;
-* ``serve``       — expose a saved model artifact over HTTP/JSON
-  (micro-batched, optionally sharded — see ``docs/serving.md``);
+* ``serve``       — expose a saved model artifact *or run directory*
+  over HTTP/JSON (micro-batched, optionally sharded —
+  see ``docs/serving.md``);
 * ``bench-serve`` — load-test the serving stack (throughput, p50/p99).
 
+``quickstart``/``recipe``/``table`` are thin aliases over the same
+registry-driven path ``run`` uses (their output is golden-test enforced).
 Training commands accept ``--n/--train/--epochs/--seed`` so runs scale
 from smoke tests to full experiments, and ``--save`` to persist the
 trained model as a self-contained artifact the serving commands consume.
@@ -20,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .pipeline import (
@@ -44,15 +52,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_scale_args(p):
-        p.add_argument("--family", choices=FAMILIES, default="digits")
-        p.add_argument("--n", type=int, default=40)
-        p.add_argument("--train", type=int, default=900)
-        p.add_argument("--test", type=int, default=300)
-        p.add_argument("--epochs", type=int, default=10)
-        p.add_argument("--seed", type=int, default=0)
+    def add_scale_args(p, defaults=True):
+        # defaults=False leaves every flag None so the caller can tell
+        # "user passed it" from "parser default" (`repro run` rejects
+        # scale flags next to an experiment file instead of silently
+        # ignoring them).
+        p.add_argument("--family", choices=FAMILIES,
+                       default="digits" if defaults else None)
+        p.add_argument("--n", type=int, default=40 if defaults else None)
+        p.add_argument("--train", type=int,
+                       default=900 if defaults else None)
+        p.add_argument("--test", type=int,
+                       default=300 if defaults else None)
+        p.add_argument("--epochs", type=int,
+                       default=10 if defaults else None)
+        p.add_argument("--seed", type=int, default=0 if defaults else None)
         p.add_argument(
-            "--precision", choices=("single", "double"), default="double",
+            "--precision", choices=("single", "double"),
+            default="double" if defaults else None,
             help="training compute precision: 'single' runs the fused "
                  "FFT path in complex64 (roughly half the memory "
                  "traffic); scoring always runs in double",
@@ -64,6 +81,45 @@ def build_parser() -> argparse.ArgumentParser:
             help="persist the trained model as a self-contained artifact "
                  "(.npz) for `repro serve` / `repro bench-serve`",
         )
+
+    run_p = sub.add_parser(
+        "run",
+        help="run a registered recipe or a JSON/TOML experiment file; "
+             "writes a self-describing run directory",
+    )
+    run_p.add_argument(
+        "target",
+        help="a registered recipe name (baseline, ours_a..d, noisy, or "
+             "anything added via register_recipe) or a path to a "
+             "JSON/TOML experiment file",
+    )
+    add_scale_args(run_p, defaults=False)
+    run_p.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="dotted-key config override (repeatable), e.g. "
+             "--set slr.block_size=5 --set twopi.iterations=100; applies "
+             "on top of the file/base config",
+    )
+    run_p.add_argument(
+        "--runs-dir", default="runs", metavar="DIR",
+        help="root directory run artifacts are written under "
+             "(default: ./runs)",
+    )
+    run_p.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="run directory name (default: "
+             "<family>-n<n>-<recipe>-seed<seed>)",
+    )
+    run_p.add_argument("--verbose", action="store_true",
+                       help="per-epoch training progress")
+
+    report = sub.add_parser(
+        "report",
+        help="re-render paper-style tables from stored run directories "
+             "(no recompute)",
+    )
+    report.add_argument("runs_dir", metavar="RUNS_DIR",
+                        help="a runs root (or a single run directory)")
 
     quick = sub.add_parser("quickstart", help="train a small DONN")
     add_scale_args(quick)
@@ -81,6 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan recipes out across this many worker processes "
              "(results are byte-identical to the serial run)",
     )
+    table.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="also persist every recipe as a run directory under DIR "
+             "(re-renderable later with `repro report DIR`)",
+    )
 
     solvers = sub.add_parser("solvers",
                              help="compare 2-pi solvers on one mask")
@@ -88,7 +149,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_serve_args(p, model_required=True):
         p.add_argument("--model", required=model_required, metavar="PATH",
-                       help="model artifact saved with --save / ModelStore")
+                       help="model artifact saved with --save / ModelStore, "
+                            "or a run directory written by `repro run`")
         p.add_argument("--precision", choices=("single", "double"),
                        default=None,
                        help="engine precision (default: the precision "
@@ -159,6 +221,105 @@ def _save_result(args, result, recipe: str) -> None:
     print(f"saved model artifact: {path}")
 
 
+def _recipe_summary(result) -> str:
+    """The one-line recipe summary (shared by `recipe` and `run`)."""
+    return (f"{result.label}: accuracy {result.accuracy * 100:.2f}%  "
+            f"R_pre {result.roughness_before:.2f}  "
+            f"R_post {result.roughness_after:.2f}  "
+            f"sparsity {result.sparsity * 100:.0f}%")
+
+
+#: `repro run` scale flags and their recipe-name-target defaults
+#: (mirroring `repro recipe`); None = "not passed by the user".
+_RUN_SCALE_DEFAULTS = {
+    "family": "digits", "n": 40, "train": 900, "test": 300,
+    "epochs": 10, "seed": 0, "precision": "double",
+}
+
+
+def _cmd_run(args) -> int:
+    from .pipeline import (
+        apply_overrides,
+        get_recipe,
+        load_experiment,
+        parse_override_items,
+        save_run,
+    )
+    from .pipeline.experiment_io import EXPERIMENT_FILE_SUFFIXES
+
+    target = Path(args.target)
+    try:
+        overrides = parse_override_items(args.set)
+        if target.suffix in EXPERIMENT_FILE_SUFFIXES or target.is_file():
+            passed = [flag for flag in _RUN_SCALE_DEFAULTS
+                      if getattr(args, flag) is not None]
+            if passed:
+                print(
+                    f"--{'/--'.join(passed)} do not apply to experiment "
+                    f"files ({target} fixes the scale); use --set "
+                    "overrides instead (e.g. --set baseline_epochs=5)",
+                    file=sys.stderr,
+                )
+                return 2
+            spec = load_experiment(target)
+            if spec.recipe is None:
+                print(f"{target} does not set a recipe; add "
+                      '"recipe": "<name>" to the file', file=sys.stderr)
+                return 2
+            recipe_name, config = spec.recipe, spec.config
+        else:
+            for flag, default in _RUN_SCALE_DEFAULTS.items():
+                if getattr(args, flag) is None:
+                    setattr(args, flag, default)
+            recipe_name, config = args.target, _config(args)
+        get_recipe(recipe_name)  # fail fast with the registered names
+        config = apply_overrides(config, overrides)
+        if args.name:
+            # Validate the destination *before* spending the training
+            # compute: a collision after run_recipe would discard the
+            # finished result.
+            run_dir = Path(args.runs_dir) / args.name
+            if run_dir.exists() and any(run_dir.iterdir()):
+                print(f"run directory {run_dir} already exists and is "
+                      "not empty; pick another --name", file=sys.stderr)
+                return 2
+    except (ValueError, FileNotFoundError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    result = run_recipe(recipe_name, config, verbose=args.verbose)
+    run_dir = save_run(result, config, args.runs_dir, name=args.name)
+    print(_recipe_summary(result))
+    for record in result.stages:
+        print(f"  stage {record.name:<13} {record.wall_time:8.2f}s")
+    print(f"run directory: {run_dir}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from itertools import groupby
+
+    from .pipeline import load_runs, table_from_runs
+
+    try:
+        runs = load_runs(args.runs_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    runs = sorted(runs, key=lambda run: run.family)
+    first = True
+    for family, group in groupby(runs, key=lambda run: run.family):
+        if not first:
+            print()
+        first = False
+        table = table_from_runs(list(group))
+        print(format_table(table))
+        print()
+        print(format_comparison(table))
+    print()
+    print(f"rendered {len(runs)} stored run(s) from {args.runs_dir}")
+    return 0
+
+
 def _cmd_quickstart(args) -> int:
     result = run_recipe("baseline", _config(args))
     print(f"accuracy          : {result.accuracy * 100:.2f}%")
@@ -170,16 +331,14 @@ def _cmd_quickstart(args) -> int:
 
 def _cmd_recipe(args) -> int:
     result = run_recipe(args.recipe, _config(args))
-    print(f"{result.label}: accuracy {result.accuracy * 100:.2f}%  "
-          f"R_pre {result.roughness_before:.2f}  "
-          f"R_post {result.roughness_after:.2f}  "
-          f"sparsity {result.sparsity * 100:.0f}%")
+    print(_recipe_summary(result))
     _save_result(args, result, args.recipe)
     return 0
 
 
 def _cmd_table(args) -> int:
-    table = run_table(_config(args), max_workers=args.max_workers)
+    table = run_table(_config(args), max_workers=args.max_workers,
+                      runs_dir=args.runs_dir)
     print(format_table(table))
     print()
     print(format_comparison(table))
@@ -189,12 +348,13 @@ def _cmd_table(args) -> int:
 def _cmd_solvers(args) -> int:
     from .pipeline.ablations import compare_twopi_solvers
 
-    result = run_recipe("ours_b", _config(args))
+    config = _config(args)
+    result = run_recipe("ours_b", config)
     phase = result.model.phases()[0]
-    block = result.model.config.n // (
-        result.model.config.n // _config(args).slr.block_size
-    )
-    comparison = compare_twopi_solvers(phase, block_size=block,
+    # The mask was sparsified on the config's block grid; compare the
+    # solvers on that same grid.
+    comparison = compare_twopi_solvers(phase,
+                                       block_size=config.slr.block_size,
                                        seed=args.seed)
     print(f"2-pi solver comparison on a sparsified layer "
           f"(R before = {comparison['before']:.2f}):")
@@ -319,6 +479,8 @@ def _cmd_bench_serve(args) -> int:
 
 
 _COMMANDS = {
+    "run": _cmd_run,
+    "report": _cmd_report,
     "quickstart": _cmd_quickstart,
     "recipe": _cmd_recipe,
     "table": _cmd_table,

@@ -1,9 +1,19 @@
-"""Experiment pipeline: the paper's recipes, tables and sweeps.
+"""Experiment pipeline: declarative recipes, tables, sweeps and runs.
 
-* :class:`ExperimentConfig` — laptop- and paper-scale setups;
-* :func:`run_recipe` — one table row (baseline / Ours-A..D);
-* :func:`run_table` — a full Tables II-V reproduction;
+* :class:`ExperimentConfig` — laptop- and paper-scale setups, with a
+  full nested dict round trip (``to_dict``/``from_dict``) and JSON/TOML
+  experiment files (:func:`load_experiment`, dotted ``--set`` overrides);
+* :mod:`~repro.pipeline.stages` — the composable stage protocol
+  (``TrainStage``, ``SparsifyStage``, ``ScoreStage``, ``TwoPiStage``,
+  ``NoiseInjectStage``);
+* :func:`register_recipe` — declare new scenarios as stage lists; the
+  paper's five recipes are themselves registry entries;
+* :func:`run_recipe` — one table row (baseline / Ours-A..D / custom);
+* :func:`run_table` — a full Tables II-V reproduction (optionally
+  persisted to run directories);
 * :func:`run_sweep` — the Fig. 6 hyperparameter explorations;
+* :func:`save_run` / :func:`load_runs` / :func:`table_from_runs` —
+  self-describing run directories, re-renderable without recompute;
 * :data:`PAPER_TABLES` — the published numbers for comparison.
 """
 
@@ -13,6 +23,12 @@ from .ablations import (
     neighborhood_ablation,
 )
 from .config import PAPER_BLOCK_SIZES, PAPER_EPOCHS, ExperimentConfig
+from .experiment_io import (
+    ExperimentSpec,
+    apply_overrides,
+    load_experiment,
+    parse_override_items,
+)
 from .recipes import (
     RECIPE_LABELS,
     RECIPES,
@@ -20,7 +36,33 @@ from .recipes import (
     prepare_data,
     run_recipe,
 )
+from .registry import (
+    Recipe,
+    get_recipe,
+    paper_recipe_names,
+    recipe_label,
+    recipe_names,
+    register_recipe,
+    unregister_recipe,
+)
 from .runner import PAPER_TABLES, TableResult, run_sweep, run_table
+from .runs import (
+    RunResult,
+    load_run,
+    load_runs,
+    save_run,
+    table_from_runs,
+)
+from .stages import (
+    NoiseInjectStage,
+    RunContext,
+    ScoreStage,
+    SparsifyStage,
+    Stage,
+    StageRecord,
+    TrainStage,
+    TwoPiStage,
+)
 from .tables import format_comparison, format_table
 
 __all__ = [
@@ -41,4 +83,31 @@ __all__ = [
     "compare_twopi_solvers",
     "init_ablation",
     "neighborhood_ablation",
+    # Declarative experiment API
+    "Stage",
+    "StageRecord",
+    "RunContext",
+    "TrainStage",
+    "SparsifyStage",
+    "ScoreStage",
+    "TwoPiStage",
+    "NoiseInjectStage",
+    "Recipe",
+    "register_recipe",
+    "unregister_recipe",
+    "get_recipe",
+    "recipe_names",
+    "paper_recipe_names",
+    "recipe_label",
+    # Config files & overrides
+    "ExperimentSpec",
+    "load_experiment",
+    "apply_overrides",
+    "parse_override_items",
+    # Persisted runs
+    "RunResult",
+    "save_run",
+    "load_run",
+    "load_runs",
+    "table_from_runs",
 ]

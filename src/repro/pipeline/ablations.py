@@ -67,9 +67,11 @@ def init_ablation(
 ) -> List[Dict[str, float]]:
     """Re-run ``recipe`` under different phase initialization regimes.
 
-    Shows why ``"high"`` is the default: with mid-range or uniform init
-    the trained surroundings of pruned blocks straddle pi and the 2-pi
-    step has (provably) nothing to fix.
+    ``recipe`` may be any registered recipe name (see
+    :func:`~repro.pipeline.registry.register_recipe`), not just the
+    paper rows.  Shows why ``"high"`` is the default: with mid-range or
+    uniform init the trained surroundings of pruned blocks straddle pi
+    and the 2-pi step has (provably) nothing to fix.
     """
     from dataclasses import replace
 

@@ -18,13 +18,23 @@ Scales
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..donn.model import DONNConfig
 from ..sparsify.slr import SLRConfig
 from ..twopi.optimizer import TwoPiConfig
+from ..utils.serialization import dataclass_from_dict, dataclass_to_dict
 
 __all__ = ["ExperimentConfig", "PAPER_BLOCK_SIZES", "PAPER_EPOCHS"]
+
+#: The nested sub-configs of an :class:`ExperimentConfig` and their
+#: dataclasses — the schema both the dict round trip and the dotted-key
+#: override machinery (`--set slr.block_size=5`) derive from.
+NESTED_CONFIGS: Dict[str, type] = {
+    "system": DONNConfig,
+    "slr": SLRConfig,
+    "twopi": TwoPiConfig,
+}
 
 #: Block sizes the paper trains sparsification with (Tables II-V captions).
 PAPER_BLOCK_SIZES = {"MNIST": 25, "FMNIST": 20, "KMNIST": 20, "EMNIST": 20}
@@ -95,6 +105,42 @@ class ExperimentConfig:
     def with_overrides(self, **changes) -> "ExperimentConfig":
         """Functional update (frozen dataclass helper)."""
         return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialization (experiment files, run directories)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable nested dict of the full configuration.
+
+        The nested ``system``/``slr``/``twopi`` sub-configs become nested
+        dicts; :meth:`from_dict` round-trips the result exactly
+        (``cfg.to_dict() == ExperimentConfig.from_dict(cfg.to_dict())
+        .to_dict()``, test-enforced).
+        """
+        data = dataclass_to_dict(self)
+        for key in NESTED_CONFIGS:
+            data[key] = dataclass_to_dict(getattr(self, key))
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_dict` output (or a hand-written
+        experiment file).
+
+        Unknown keys — top-level or inside a nested sub-config — are
+        rejected by name; missing keys take the dataclass defaults, and
+        all the usual ``__post_init__`` validation applies.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"expected a config mapping, got {type(data).__name__}"
+            )
+        data = dict(data)
+        for key, sub_cls in NESTED_CONFIGS.items():
+            if key in data and not isinstance(data[key], sub_cls):
+                data[key] = dataclass_from_dict(sub_cls, data[key],
+                                                context=key)
+        return dataclass_from_dict(cls, data)
 
     # ------------------------------------------------------------------
     # Canonical scales

@@ -8,44 +8,43 @@
 
 Every recipe ends with the 2-pi periodic optimization (Sec. III-D2), which
 changes fabricated roughness but never accuracy.
+
+Each recipe is a *registered stage list* (see
+:mod:`repro.pipeline.registry` and :mod:`repro.pipeline.stages`);
+:func:`run_recipe` is a thin driver that prepares a seeded
+:class:`~repro.pipeline.stages.RunContext` and folds the stages over it.
+New scenarios are added by registering new stage lists — no branch in
+this module knows any recipe by name.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..autodiff import Adam
 from ..autodiff.rng import seed_all, spawn_rng
-from ..backend import precision_scope
 from ..data import DataLoader, Dataset, make_dataset
-from ..donn import DONN, Trainer, accuracy
-from ..roughness import (
-    IntraBlockRegularizer,
-    RoughnessRegularizer,
-    model_roughness,
-)
-from ..sparsify import SLRSparsifier
-from ..twopi import TwoPiOptimizer, TwoPiSolution
+from ..donn import DONN
+from ..twopi import TwoPiSolution
 from .config import ExperimentConfig
+from .registry import (
+    RECIPE_LABELS,
+    get_recipe,
+    paper_recipe_names,
+    recipe_label,
+)
+from .stages import RunContext, StageRecord
 
 __all__ = ["RECIPES", "RECIPE_LABELS", "RecipeResult", "run_recipe",
            "prepare_data"]
 
-RECIPES: Tuple[str, ...] = ("baseline", "ours_a", "ours_b", "ours_c",
-                            "ours_d")
-
-#: Row labels as printed in the paper's tables.
-RECIPE_LABELS: Dict[str, str] = {
-    "baseline": "[5], [6], [8]",
-    "ours_a": "Ours-A",
-    "ours_b": "Ours-B",
-    "ours_c": "Ours-C",
-    "ours_d": "Ours-D",
-}
+#: The paper's table rows, derived from the registry's ``paper_row``
+#: flag at import time (the published set is fixed; dynamically
+#: registered recipes are listed by ``repro.pipeline.recipe_names()``).
+RECIPES: Tuple[str, ...] = paper_recipe_names()
 
 
 @dataclass
@@ -61,10 +60,13 @@ class RecipeResult:
     model: DONN
     twopi_solutions: List[TwoPiSolution] = field(default_factory=list)
     wall_time: float = 0.0
+    #: Per-stage provenance: name, wall time and reported metrics, in
+    #: execution order.
+    stages: List[StageRecord] = field(default_factory=list)
 
     @property
     def label(self) -> str:
-        return RECIPE_LABELS[self.recipe]
+        return recipe_label(self.recipe)
 
     @property
     def twopi_reduction(self) -> float:
@@ -77,6 +79,12 @@ class RecipeResult:
         """Per-layer 2-pi add-on masks from the smoothing step."""
         return [solution.offsets for solution in self.twopi_solutions]
 
+    def stage_metrics(self) -> Dict[str, Dict[str, object]]:
+        """``stage name -> reported metrics`` (last record wins if a
+        stage name repeats)."""
+        return {record.name: dict(record.metrics)
+                for record in self.stages}
+
 
 def prepare_data(config: ExperimentConfig) -> Tuple[Dataset, Dataset]:
     """Generate the train/test split for a config (shared across recipes)."""
@@ -88,85 +96,71 @@ def prepare_data(config: ExperimentConfig) -> Tuple[Dataset, Dataset]:
     )
 
 
-def _regularizers(recipe: str, config: ExperimentConfig) -> list:
-    if recipe in ("baseline", "ours_b"):
-        return []
-    regs = [RoughnessRegularizer(p=config.roughness_p, k=config.roughness_k)]
-    if recipe == "ours_d":
-        regs.append(IntraBlockRegularizer(q=config.intra_q,
-                                          block_size=config.slr.block_size))
-    return regs
-
-
 def run_recipe(
     recipe: str,
     config: ExperimentConfig,
     data: Optional[Tuple[Dataset, Dataset]] = None,
     verbose: bool = False,
 ) -> RecipeResult:
-    """Train one table row end to end and score it.
+    """Run one registered recipe end to end and score it.
 
     Parameters
     ----------
     recipe:
-        One of :data:`RECIPES`.
+        A registered recipe name (the paper rows in :data:`RECIPES`, or
+        anything added via
+        :func:`~repro.pipeline.registry.register_recipe`).
     config:
         Scale / hyperparameter bundle.
     data:
         Optional pre-generated ``(train, test)`` pair so all recipes of a
         table share identical data.
+
+    The driver prepares the deterministic context — global RNG re-seeded
+    from the config, shared data split, one loader (whose shuffle stream
+    the training *and* sparsification stages advance in sequence), a
+    freshly initialized model — and then simply folds the stage list
+    over it.  Every result is a pure function of
+    ``(recipe, config, data)``, which is what makes the parallel table
+    runner byte-identical to the serial one.
     """
-    if recipe not in RECIPES:
-        raise ValueError(f"unknown recipe {recipe!r}; expected one of "
-                         f"{RECIPES}")
+    spec = get_recipe(recipe)
     start = time.time()
     seed_all(config.seed)
     train, test = data if data is not None else prepare_data(config)
     loader = DataLoader(train, batch_size=config.batch_size,
                         seed=config.seed)
-
     model = DONN(config.system, rng=spawn_rng(config.seed + 17))
-    regularizers = _regularizers(recipe, config)
+    ctx = RunContext(recipe=recipe, config=config, train=train, test=test,
+                     loader=loader, model=model, verbose=verbose)
+    for stage in spec.stages:
+        ctx = ctx.run_stage(stage)
+    return _result_from_context(ctx, wall_time=time.time() - start)
 
-    # --- Stage 1: (roughness-aware) dense training.
-    # Both training stages run under the config's precision policy
-    # (``"single"`` = complex64 fused FFTs + float32 optimizer state);
-    # scoring below always runs in double so table numbers stay
-    # comparable across precisions.
-    trainer = Trainer(
-        model,
-        Adam(model.parameters(), lr=config.baseline_lr),
-        regularizers=regularizers,
-        precision=config.precision,
-    )
-    trainer.fit(loader, epochs=config.baseline_epochs, verbose=verbose)
 
-    # --- Stage 2: SLR block sparsification for the sparse recipes.
-    sparsity = 0.0
-    if recipe in ("ours_b", "ours_c", "ours_d"):
-        with precision_scope(config.precision):
-            sparsifier = SLRSparsifier(model, loader, config.slr,
-                                       regularizers=regularizers)
-            result = sparsifier.run(verbose=verbose)
-        sparsity = result.sparsity
+def _result_from_context(ctx: RunContext,
+                         wall_time: float) -> RecipeResult:
+    """Assemble the result from whatever the stages left behind.
 
-    # --- Scoring: accuracy, roughness before / after 2-pi smoothing.
-    # Pinned to double regardless of the ambient policy (REPRO_PRECISION
-    # included), so table numbers stay comparable across precisions.
-    with precision_scope("double"):
-        test_accuracy = accuracy(model, test)
-        before = model_roughness(model, k=config.roughness_k).overall
-        solutions = TwoPiOptimizer(config.twopi).optimize_model(model)
-        after = float(np.mean([s.roughness_after for s in solutions]))
-
+    Recipes without a scoring stage yield NaN metrics rather than
+    failing; a recipe without a 2-pi stage reports its pre-smoothing
+    roughness as the final one (nothing was smoothed).
+    """
+    nan = float("nan")
+    roughness_before = ctx.roughness_before
+    roughness_after = ctx.roughness_after
+    if roughness_after is None:
+        roughness_after = nan if roughness_before is None else roughness_before
     return RecipeResult(
-        recipe=recipe,
-        family=config.family,
-        accuracy=test_accuracy,
-        roughness_before=before,
-        roughness_after=after,
-        sparsity=sparsity,
-        model=model,
-        twopi_solutions=solutions,
-        wall_time=time.time() - start,
+        recipe=ctx.recipe,
+        family=ctx.config.family,
+        accuracy=nan if ctx.accuracy is None else ctx.accuracy,
+        roughness_before=(nan if roughness_before is None
+                          else roughness_before),
+        roughness_after=roughness_after,
+        sparsity=ctx.sparsity,
+        model=ctx.model,
+        twopi_solutions=ctx.twopi_solutions,
+        wall_time=wall_time,
+        stages=ctx.stage_records,
     )

@@ -1,0 +1,199 @@
+"""The recipe registry: named, declarative stage lists.
+
+The paper's five recipes (Tables II-V rows) are nothing but registered
+stage compositions — no recipe-specific branches exist anywhere in the
+pipeline code.  Third parties declare new scenarios the same way::
+
+    from repro.pipeline import register_recipe, TrainStage, ScoreStage
+
+    register_recipe("my_scenario", [TrainStage(roughness=True),
+                                    ScoreStage()],
+                    label="My scenario")
+
+and ``run_recipe("my_scenario", config)`` / ``repro run my_scenario``
+work immediately.  ``paper_row=True`` marks a recipe as one of the
+published table rows; :data:`repro.pipeline.RECIPES` is derived from
+that flag at import time.
+
+Registered recipes are resolved *by name* when a table fans out across
+worker processes, so custom recipes must be registered at import time of
+the defining module for ``max_workers > 1`` runs to find them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .stages import (
+    NoiseInjectStage,
+    ScoreStage,
+    SparsifyStage,
+    Stage,
+    TrainStage,
+    TwoPiStage,
+)
+
+__all__ = [
+    "Recipe",
+    "register_recipe",
+    "unregister_recipe",
+    "get_recipe",
+    "recipe_names",
+    "paper_recipe_names",
+    "recipe_label",
+    "RECIPE_LABELS",
+]
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """A named, declarative experiment: label + ordered stage list."""
+
+    name: str
+    stages: Tuple[Stage, ...]
+    label: str
+    paper_row: bool = False
+
+    def stage_names(self) -> List[str]:
+        return [stage.name for stage in self.stages]
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly provenance (stored in run directories)."""
+        return {
+            "name": self.name,
+            "label": self.label,
+            "stages": [
+                {"name": stage.name, "type": type(stage).__name__,
+                 "params": stage.params()}
+                for stage in self.stages
+            ],
+        }
+
+
+_REGISTRY: "OrderedDict[str, Recipe]" = OrderedDict()
+
+#: Live ``name -> printed row label`` view of the registry (kept for
+#: backwards compatibility; updated by :func:`register_recipe`).
+RECIPE_LABELS: Dict[str, str] = {}
+
+
+def register_recipe(
+    name: str,
+    stages: Sequence[Stage],
+    label: Optional[str] = None,
+    paper_row: bool = False,
+    overwrite: bool = False,
+) -> Recipe:
+    """Register ``name`` as the stage list ``stages``.
+
+    ``label`` is the table row label (defaults to ``name``).  Re-using a
+    name raises unless ``overwrite=True``.  Returns the
+    :class:`Recipe` record.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"recipe name must be a non-empty string, "
+                         f"got {name!r}")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"recipe {name!r} is already registered; pass overwrite=True "
+            "to replace it"
+        )
+    stages = tuple(stages)
+    if not stages:
+        raise ValueError(f"recipe {name!r} needs at least one stage")
+    for stage in stages:
+        if not hasattr(stage, "run") or not hasattr(stage, "name"):
+            raise TypeError(
+                f"recipe {name!r}: {stage!r} does not implement the Stage "
+                "protocol (a `name` attribute and a `run(ctx)` method)"
+            )
+    recipe = Recipe(name=name, stages=stages,
+                    label=name if label is None else str(label),
+                    paper_row=bool(paper_row))
+    _REGISTRY[name] = recipe
+    RECIPE_LABELS[name] = recipe.label
+    return recipe
+
+
+def unregister_recipe(name: str) -> None:
+    """Remove a registered recipe (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+    RECIPE_LABELS.pop(name, None)
+
+
+def get_recipe(name: str) -> Recipe:
+    """Look up a registered recipe; raises ``ValueError`` with the
+    available names otherwise."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown recipe {name!r}; expected one of "
+            f"{tuple(_REGISTRY)}"
+        ) from None
+
+
+def recipe_names() -> Tuple[str, ...]:
+    """Every registered recipe name, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def paper_recipe_names() -> Tuple[str, ...]:
+    """The registered recipes marked as published table rows."""
+    return tuple(name for name, recipe in _REGISTRY.items()
+                 if recipe.paper_row)
+
+
+def recipe_label(name: str) -> str:
+    """The printed row label for ``name`` (falls back to the name itself
+    for recipes recorded by older/foreign registries)."""
+    recipe = _REGISTRY.get(name)
+    return name if recipe is None else recipe.label
+
+
+# ----------------------------------------------------------------------
+# Built-in recipes: the paper's five table rows (Tables II-V) ...
+# ----------------------------------------------------------------------
+register_recipe(
+    "baseline",
+    [TrainStage(), ScoreStage(), TwoPiStage()],
+    label="[5], [6], [8]",
+    paper_row=True,
+)
+register_recipe(
+    "ours_a",
+    [TrainStage(roughness=True), ScoreStage(), TwoPiStage()],
+    label="Ours-A",
+    paper_row=True,
+)
+register_recipe(
+    "ours_b",
+    [TrainStage(), SparsifyStage(), ScoreStage(), TwoPiStage()],
+    label="Ours-B",
+    paper_row=True,
+)
+register_recipe(
+    "ours_c",
+    [TrainStage(roughness=True), SparsifyStage(), ScoreStage(),
+     TwoPiStage()],
+    label="Ours-C",
+    paper_row=True,
+)
+register_recipe(
+    "ours_d",
+    [TrainStage(roughness=True, intra_block=True), SparsifyStage(),
+     ScoreStage(), TwoPiStage()],
+    label="Ours-D",
+    paper_row=True,
+)
+
+# ... plus the extensibility scenario: weight-noise-injection fine-tuning
+# (Shi & Zhang 2020) between dense training and scoring.  Not a paper
+# row — it never appears in RECIPES / the table comparisons.
+register_recipe(
+    "noisy",
+    [TrainStage(), NoiseInjectStage(), ScoreStage(), TwoPiStage()],
+    label="Noise-inject",
+)

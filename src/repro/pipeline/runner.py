@@ -142,12 +142,16 @@ def run_table(
     data: Optional[Tuple[Dataset, Dataset]] = None,
     verbose: bool = False,
     max_workers: Optional[int] = None,
+    runs_dir: Optional[str] = None,
 ) -> TableResult:
     """Run every requested recipe on one dataset (one paper table).
 
     ``max_workers > 1`` fans the recipes out across that many worker
     processes (results are byte-identical to the serial path; see the
-    module docstring).
+    module docstring).  ``runs_dir`` persists each result as a
+    self-describing run directory (see :mod:`repro.pipeline.runs`), so
+    the table can later be re-rendered without recompute via
+    ``table_from_runs`` / ``repro report``.
     """
     if data is None:
         data = prepare_data(config)
@@ -155,6 +159,11 @@ def run_table(
         [(recipe, config, verbose) for recipe in recipes],
         data, max_workers,
     )
+    if runs_dir is not None:
+        from .runs import save_run
+
+        for result in results:
+            save_run(result, config, runs_dir)
     return TableResult(config=config, results=results)
 
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .recipes import RECIPE_LABELS
 from .runner import TableResult
 
 __all__ = ["format_table", "format_comparison"]

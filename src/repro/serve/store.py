@@ -27,11 +27,36 @@ _SUFFIX = ".npz"
 def resolve_artifact(source: Union[str, Path]) -> Path:
     """Resolve ``source`` to an existing artifact file.
 
-    Accepts a direct path to an ``.npz`` artifact or a path missing the
-    suffix; raises ``FileNotFoundError`` with the attempted candidates
+    Accepts a direct path to an ``.npz`` artifact, a path missing the
+    suffix, or a *run directory* written by ``repro run`` /
+    :func:`repro.pipeline.runs.save_run` (the ``model.npz`` inside is
+    served); raises ``FileNotFoundError`` with the attempted candidates
     otherwise.
     """
-    candidates = [Path(source)]
+    path = Path(source)
+    if path.is_dir():
+        # A persisted experiment run: serve the model it trained.  The
+        # run manifest records the artifact's filename; fall back to the
+        # conventional name for manifest-less directories.
+        model_name = "model.npz"
+        manifest = path / "run.json"
+        if manifest.is_file():
+            import json
+
+            try:
+                model_name = json.loads(
+                    manifest.read_text()
+                ).get("model", model_name)
+            except (OSError, json.JSONDecodeError, AttributeError):
+                pass
+        candidate = path / model_name
+        if candidate.is_file():
+            return candidate
+        raise FileNotFoundError(
+            f"{path} is a directory but holds no {model_name} run "
+            "artifact"
+        )
+    candidates = [path]
     if not str(source).endswith(_SUFFIX):
         candidates.append(Path(str(source) + _SUFFIX))
     for candidate in candidates:

@@ -5,6 +5,8 @@ from .pareto import pareto_frontier
 from .serialization import (
     MODEL_FORMAT,
     MODEL_FORMAT_VERSION,
+    dataclass_from_dict,
+    dataclass_to_dict,
     load_model,
     load_phases,
     read_model_header,
@@ -21,6 +23,8 @@ __all__ = [
     "save_model",
     "load_model",
     "read_model_header",
+    "dataclass_to_dict",
+    "dataclass_from_dict",
     "MODEL_FORMAT",
     "MODEL_FORMAT_VERSION",
 ]

@@ -29,6 +29,8 @@ __all__ = [
     "save_model",
     "load_model",
     "read_model_header",
+    "dataclass_to_dict",
+    "dataclass_from_dict",
     "MODEL_FORMAT",
     "MODEL_FORMAT_VERSION",
 ]
@@ -95,6 +97,53 @@ def load_phases(path: Union[str, Path]):
                 f"but phase_{index} has shape {phase.shape}"
             )
     return phases, masks
+
+
+# ----------------------------------------------------------------------
+# Dataclass <-> dict round trips (the experiment-config format)
+# ----------------------------------------------------------------------
+def dataclass_to_dict(obj) -> Dict[str, Any]:
+    """Shallow ``dataclass -> dict`` with JSON-safe scalar values.
+
+    Unlike :func:`dataclasses.asdict` this does not recurse — nested
+    dataclasses stay objects, so callers decide which sub-configs get
+    their own nested dicts (see ``ExperimentConfig.to_dict``).
+    """
+    import dataclasses
+
+    if not dataclasses.is_dataclass(obj) or isinstance(obj, type):
+        raise TypeError(f"expected a dataclass instance, got {obj!r}")
+    return {f.name: getattr(obj, f.name)
+            for f in dataclasses.fields(obj)}
+
+
+def dataclass_from_dict(cls, data: Dict[str, Any], context: str = ""):
+    """Build ``cls(**data)``, rejecting unknown keys by name.
+
+    ``context`` prefixes error messages (e.g. the nested-config key the
+    dict came from) so a bad experiment file points at the exact field.
+    Missing keys fall back to the dataclass defaults; the class's own
+    ``__post_init__`` validation still applies.
+    """
+    import dataclasses
+
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"expected a dataclass type, got {cls!r}")
+    if not isinstance(data, dict):
+        where = f" for {context}" if context else ""
+        raise ValueError(
+            f"expected a mapping{where}, got {type(data).__name__}"
+        )
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - names)
+    if unknown:
+        where = f"{context}." if context else ""
+        raise ValueError(
+            f"unknown {cls.__name__} key(s): "
+            f"{', '.join(where + key for key in unknown)} "
+            f"(known: {', '.join(sorted(names))})"
+        )
+    return cls(**data)
 
 
 # ----------------------------------------------------------------------

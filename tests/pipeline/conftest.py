@@ -1,0 +1,29 @@
+"""Shared fixtures for the pipeline tests."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.pipeline import ExperimentConfig
+
+
+def _tiny_cfg(**overrides) -> ExperimentConfig:
+    """A seconds-scale config for pipeline plumbing tests."""
+    defaults = dict(
+        n=20, n_train=60, n_test=30, batch_size=30, baseline_epochs=1,
+    )
+    defaults.update(overrides)
+    cfg = ExperimentConfig.laptop("digits", **defaults)
+    # Shrink the heavy stages too.
+    return cfg.with_overrides(
+        slr=replace(cfg.slr, outer_iterations=1, inner_epochs=1,
+                    finetune_epochs=1),
+        twopi=replace(cfg.twopi, iterations=10),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_cfg():
+    """Factory fixture: ``tiny_cfg(**overrides)`` builds the shared
+    smoke-scale config (one definition for every pipeline test file)."""
+    return _tiny_cfg

@@ -1,0 +1,218 @@
+"""Tests of the stage protocol and the recipe registry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.pipeline import (
+    RECIPE_LABELS,
+    RECIPES,
+    NoiseInjectStage,
+    ScoreStage,
+    SparsifyStage,
+    Stage,
+    TrainStage,
+    TwoPiStage,
+    get_recipe,
+    paper_recipe_names,
+    recipe_label,
+    recipe_names,
+    register_recipe,
+    run_recipe,
+    unregister_recipe,
+)
+
+
+class TestRegistry:
+    def test_paper_recipes_are_registered_stage_lists(self):
+        # The acceptance contract: the five table rows exist purely as
+        # registry entries, composed from the concrete stage classes.
+        expected = {
+            "baseline": ["train", "score", "twopi"],
+            "ours_a": ["train", "score", "twopi"],
+            "ours_b": ["train", "sparsify", "score", "twopi"],
+            "ours_c": ["train", "sparsify", "score", "twopi"],
+            "ours_d": ["train", "sparsify", "score", "twopi"],
+        }
+        for name, stage_names in expected.items():
+            assert get_recipe(name).stage_names() == stage_names
+
+    def test_regularizer_flags_match_paper(self):
+        # baseline/ours_b train without physics terms; ours_d adds the
+        # intra-block term on top of roughness.
+        def train_stage(name):
+            return get_recipe(name).stages[0]
+
+        assert not train_stage("baseline").roughness
+        assert not train_stage("ours_b").roughness
+        assert train_stage("ours_a").roughness
+        assert train_stage("ours_c").roughness
+        assert not train_stage("ours_c").intra_block
+        assert train_stage("ours_d").intra_block
+
+    def test_recipes_and_labels_derived_from_registry(self):
+        assert RECIPES == paper_recipe_names()
+        assert set(RECIPES) == {"baseline", "ours_a", "ours_b", "ours_c",
+                                "ours_d"}
+        for name in recipe_names():
+            assert RECIPE_LABELS[name] == recipe_label(name)
+
+    def test_noisy_recipe_registered_but_not_a_paper_row(self):
+        assert "noisy" in recipe_names()
+        assert "noisy" not in RECIPES
+        assert get_recipe("noisy").stage_names() == [
+            "train", "noise_inject", "score", "twopi"
+        ]
+
+    def test_unknown_recipe_lookup_names_alternatives(self):
+        with pytest.raises(ValueError, match="baseline"):
+            get_recipe("ours_z")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_recipe("baseline", [TrainStage()])
+
+    def test_empty_stage_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            register_recipe("empty_recipe", [])
+
+    def test_non_stage_rejected(self):
+        with pytest.raises(TypeError, match="Stage protocol"):
+            register_recipe("bad_recipe", [object()])
+
+    def test_overwrite_and_unregister(self):
+        try:
+            register_recipe("tmp_recipe", [TrainStage()], label="Tmp")
+            assert recipe_label("tmp_recipe") == "Tmp"
+            register_recipe("tmp_recipe", [TrainStage(), ScoreStage()],
+                            overwrite=True)
+            assert get_recipe("tmp_recipe").stage_names() == ["train",
+                                                              "score"]
+        finally:
+            unregister_recipe("tmp_recipe")
+        assert "tmp_recipe" not in recipe_names()
+        assert "tmp_recipe" not in RECIPE_LABELS
+
+
+class TestThirdPartyRecipe:
+    def test_registered_recipe_runs_end_to_end(self, tiny_cfg):
+        # The extensibility acceptance test: declare a new scenario from
+        # a "third party" (this test file) and run it with zero pipeline
+        # changes.
+        register_recipe(
+            "test_scenario",
+            [TrainStage(roughness=True), ScoreStage(), TwoPiStage()],
+            label="Test scenario",
+        )
+        try:
+            result = run_recipe("test_scenario", tiny_cfg())
+            assert result.recipe == "test_scenario"
+            assert result.label == "Test scenario"
+            assert 0.0 <= result.accuracy <= 1.0
+            assert result.roughness_before > 0
+            assert [s.name for s in result.stages] == ["train", "score",
+                                                       "twopi"]
+        finally:
+            unregister_recipe("test_scenario")
+
+    def test_custom_stage_subclass(self, tiny_cfg):
+        class MarkStage(Stage):
+            name = "mark"
+
+            def run(self, ctx):
+                ctx.add_metrics(marked=True)
+                return ctx
+
+        register_recipe("test_marked", [TrainStage(), MarkStage(),
+                                        ScoreStage()])
+        try:
+            result = run_recipe("test_marked", tiny_cfg())
+            assert result.stage_metrics()["mark"] == {"marked": True}
+        finally:
+            unregister_recipe("test_marked")
+
+    def test_recipe_without_score_yields_nan_metrics(self, tiny_cfg):
+        register_recipe("test_train_only", [TrainStage()])
+        try:
+            result = run_recipe("test_train_only", tiny_cfg())
+            assert math.isnan(result.accuracy)
+            assert math.isnan(result.roughness_before)
+            assert math.isnan(result.roughness_after)
+        finally:
+            unregister_recipe("test_train_only")
+
+    def test_recipe_without_twopi_keeps_pre_roughness(self, tiny_cfg):
+        register_recipe("test_no_twopi", [TrainStage(), ScoreStage()])
+        try:
+            result = run_recipe("test_no_twopi", tiny_cfg())
+            assert result.roughness_after == result.roughness_before
+            assert result.twopi_solutions == []
+        finally:
+            unregister_recipe("test_no_twopi")
+
+
+class TestStageRecords:
+    def test_baseline_records_all_stages(self, tiny_cfg):
+        result = run_recipe("baseline", tiny_cfg())
+        assert [s.name for s in result.stages] == ["train", "score",
+                                                   "twopi"]
+        assert all(s.wall_time >= 0 for s in result.stages)
+        metrics = result.stage_metrics()
+        assert metrics["score"]["accuracy"] == result.accuracy
+        assert metrics["score"]["roughness_before"] == \
+            result.roughness_before
+        assert metrics["twopi"]["roughness_after"] == result.roughness_after
+        assert metrics["train"]["epochs"] == 1
+
+    def test_sparse_recipe_records_sparsity(self, tiny_cfg):
+        result = run_recipe("ours_b", tiny_cfg())
+        metrics = result.stage_metrics()
+        assert metrics["sparsify"]["sparsity"] == result.sparsity
+        assert result.sparsity > 0
+
+
+class TestNoiseInjectStage:
+    def test_noisy_recipe_runs(self, tiny_cfg):
+        result = run_recipe("noisy", tiny_cfg())
+        assert 0.0 <= result.accuracy <= 1.0
+        metrics = result.stage_metrics()
+        assert metrics["noise_inject"]["sigma"] == pytest.approx(0.05)
+        assert np.isfinite(metrics["noise_inject"]["final_loss"])
+
+    def test_deterministic(self, tiny_cfg):
+        a = run_recipe("noisy", tiny_cfg())
+        b = run_recipe("noisy", tiny_cfg())
+        assert a.accuracy == b.accuracy
+        for pa, pb in zip(a.model.phases(), b.model.phases()):
+            assert np.array_equal(pa, pb)
+
+    def test_noise_changes_training(self, tiny_cfg):
+        # With a large sigma the fine-tuned weights must differ from the
+        # sigma=0 fine-tune (same seeds otherwise).
+        register_recipe("test_wni_hot",
+                        [TrainStage(), NoiseInjectStage(sigma=0.5)])
+        register_recipe("test_wni_cold",
+                        [TrainStage(), NoiseInjectStage(sigma=0.0)])
+        try:
+            hot = run_recipe("test_wni_hot", tiny_cfg())
+            cold = run_recipe("test_wni_cold", tiny_cfg())
+            assert any(
+                not np.array_equal(ph, pc)
+                for ph, pc in zip(hot.model.phases(), cold.model.phases())
+            )
+        finally:
+            unregister_recipe("test_wni_hot")
+            unregister_recipe("test_wni_cold")
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseInjectStage(sigma=-0.1)
+        with pytest.raises(ValueError):
+            NoiseInjectStage(epochs=0)
+
+    def test_stage_params_reported(self):
+        stage = NoiseInjectStage(sigma=0.1, epochs=2)
+        assert stage.params()["sigma"] == pytest.approx(0.1)
+        assert stage.params()["epochs"] == 2
+        assert "sigma=0.1" in repr(stage)

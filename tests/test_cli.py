@@ -1,5 +1,7 @@
 """Tests of the command-line interface (tiny end-to-end runs)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -54,6 +56,28 @@ class TestParser:
         assert args.url is None
         assert not args.check
 
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "ours_c"])
+        assert args.command == "run"
+        assert args.target == "ours_c"
+        assert args.runs_dir == "runs"
+        assert args.name is None
+        assert args.set == []
+
+    def test_run_set_repeatable(self):
+        args = build_parser().parse_args([
+            "run", "ours_c", "--set", "slr.block_size=5",
+            "--set", "n_train=60",
+        ])
+        assert args.set == ["slr.block_size=5", "n_train=60"]
+
+    def test_report_requires_runs_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
+    def test_table_runs_dir_optional(self):
+        assert build_parser().parse_args(["table"]).runs_dir is None
+
 
 class TestCommands:
     def test_quickstart_runs(self, capsys):
@@ -95,3 +119,116 @@ class TestCommands:
         assert main(["bench-serve", "--url", "http://localhost:1",
                      "--check"]) == 2
         assert "--model" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def test_json_config_reproduces_recipe_output(self, capsys, tmp_path):
+        # Acceptance: `repro run` on a JSON config must produce the same
+        # numbers as `repro recipe` with equivalent flags, and leave a
+        # reloadable run directory behind.
+        assert main(["recipe", "--recipe", "ours_a", *TINY]) == 0
+        recipe_line = capsys.readouterr().out.splitlines()[0]
+
+        config_file = tmp_path / "exp.json"
+        config_file.write_text(json.dumps({
+            "recipe": "ours_a",
+            "base": "laptop",
+            "family": "digits",
+            "n": 20,
+            "set": {"n_train": 60, "n_test": 30, "baseline_epochs": 1},
+        }))
+        runs_dir = tmp_path / "runs"
+        assert main(["run", str(config_file),
+                     "--runs-dir", str(runs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == recipe_line
+        assert "run directory" in out
+
+        from repro.pipeline import load_runs
+
+        (run,) = load_runs(runs_dir)
+        assert run.recipe == "ours_a"
+        assert f"accuracy {run.accuracy * 100:.2f}%" in recipe_line
+
+    def test_recipe_name_target_with_overrides(self, capsys, tmp_path):
+        runs_dir = tmp_path / "runs"
+        assert main(["run", "baseline", *TINY, "--runs-dir",
+                     str(runs_dir), "--name", "smoke",
+                     "--set", "twopi.iterations=10"]) == 0
+        out = capsys.readouterr().out
+        assert "[5], [6], [8]" in out
+        assert (runs_dir / "smoke" / "run.json").is_file()
+
+        from repro.pipeline import load_run
+
+        assert load_run(runs_dir / "smoke").config.twopi.iterations == 10
+
+    def test_registered_extensibility_recipe_runs(self, capsys, tmp_path):
+        assert main(["run", "noisy", *TINY, "--runs-dir",
+                     str(tmp_path / "runs"),
+                     "--set", "twopi.iterations=10"]) == 0
+        assert "Noise-inject" in capsys.readouterr().out
+
+    def test_unknown_recipe_fails_cleanly(self, capsys, tmp_path):
+        assert main(["run", "ours_z", "--runs-dir",
+                     str(tmp_path / "runs")]) == 2
+        assert "unknown recipe" in capsys.readouterr().err
+
+    def test_bad_set_fails_cleanly(self, capsys, tmp_path):
+        assert main(["run", "baseline", "--runs-dir",
+                     str(tmp_path / "runs"),
+                     "--set", "warp_factor=9"]) == 2
+        assert "warp_factor" in capsys.readouterr().err
+
+    def test_file_without_recipe_fails_cleanly(self, capsys, tmp_path):
+        config_file = tmp_path / "exp.json"
+        config_file.write_text(json.dumps({"base": "laptop", "n": 20}))
+        assert main(["run", str(config_file)]) == 2
+        assert "recipe" in capsys.readouterr().err
+
+    def test_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+        assert capsys.readouterr().err
+
+    def test_scale_flags_rejected_with_file_target(self, capsys, tmp_path):
+        # A file fixes the scale; silently ignoring --epochs would
+        # record wrong provenance.
+        config_file = tmp_path / "exp.json"
+        config_file.write_text(json.dumps({
+            "recipe": "baseline", "base": "laptop", "n": 20,
+        }))
+        assert main(["run", str(config_file), "--epochs", "5"]) == 2
+        err = capsys.readouterr().err
+        assert "epochs" in err
+        assert "--set" in err
+
+    def test_name_collision_rejected_before_training(self, capsys,
+                                                     tmp_path):
+        runs_dir = tmp_path / "runs"
+        occupied = runs_dir / "exp1"
+        occupied.mkdir(parents=True)
+        (occupied / "run.json").write_text("{}")
+        assert main(["run", "baseline", *TINY, "--runs-dir",
+                     str(runs_dir), "--name", "exp1"]) == 2
+        assert "already exists" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_report_renders_stored_runs(self, capsys, tmp_path):
+        runs_dir = tmp_path / "runs"
+        for recipe in ("ours_a", "baseline"):
+            assert main(["run", recipe, *TINY, "--runs-dir",
+                         str(runs_dir),
+                         "--set", "twopi.iterations=10"]) == 0
+        capsys.readouterr()
+        assert main(["report", str(runs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE II" in out
+        assert "measured (this repro) vs published (paper)" in out
+        # Paper-row ordering restored from storage.
+        assert out.index("[5], [6], [8]") < out.index("Ours-A")
+        assert "rendered 2 stored run(s)" in out
+
+    def test_report_missing_dir_fails_cleanly(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "missing")]) == 2
+        assert capsys.readouterr().err

@@ -1,0 +1,61 @@
+"""Golden tests: the legacy CLI must be byte-identical to pre-refactor.
+
+The files under ``tests/golden/`` were captured from the CLI *before*
+the experiment layer was rebuilt around the stage registry (stdout of
+the commands named below, at the tiny n=20 smoke scale).  The refactor
+contract is behavior compatibility: ``quickstart``/``recipe``/``table``
+are thin aliases over the registry-driven path and must reproduce those
+bytes exactly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN = Path(__file__).resolve().parent / "golden"
+TINY = ["--n", "20", "--train", "60", "--test", "30", "--epochs", "1"]
+
+
+def golden(name: str) -> str:
+    return (GOLDEN / name).read_text()
+
+
+class TestGoldenCli:
+    def test_quickstart_golden(self, capsys):
+        assert main(["quickstart", *TINY]) == 0
+        assert capsys.readouterr().out == golden("quickstart.txt")
+
+    def test_recipe_ours_a_golden(self, capsys):
+        assert main(["recipe", "--recipe", "ours_a", *TINY]) == 0
+        assert capsys.readouterr().out == golden("recipe_ours_a.txt")
+
+    def test_recipe_ours_c_golden(self, capsys):
+        # Exercises the full stage chain: train + SLR + score + 2-pi.
+        assert main(["recipe", "--recipe", "ours_c", *TINY]) == 0
+        assert capsys.readouterr().out == golden("recipe_ours_c.txt")
+
+    def test_solvers_golden(self, capsys):
+        # Also covers the block-size derivation cleanup in _cmd_solvers.
+        assert main(["solvers", *TINY]) == 0
+        assert capsys.readouterr().out == golden("solvers.txt")
+
+
+class TestGoldenTable:
+    def test_two_recipe_table_golden(self):
+        # Captured pre-refactor via run_table + format_table/comparison
+        # on the same CLI-default laptop config.
+        from repro.pipeline import (
+            ExperimentConfig,
+            format_comparison,
+            format_table,
+            run_table,
+        )
+
+        cfg = ExperimentConfig.laptop("digits", n=20, n_train=60,
+                                      n_test=30, baseline_epochs=1)
+        table = run_table(cfg, recipes=("baseline", "ours_c"))
+        rendered = (format_table(table) + "\n\n"
+                    + format_comparison(table) + "\n")
+        assert rendered == golden("table_small.txt")

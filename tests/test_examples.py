@@ -44,6 +44,16 @@ def test_train_physics_aware_example(capsys, tmp_path):
     assert ckpt.exists()
 
 
+def test_declarative_experiment_example(capsys, tmp_path):
+    run_example("declarative_experiment.py",
+                ["--n", "16", "--train", "60", "--epochs", "1",
+                 "--runs-dir", str(tmp_path / "runs")])
+    out = capsys.readouterr().out
+    assert "Robust-A" in out
+    assert "TABLE II" in out
+    assert (tmp_path / "runs").is_dir()
+
+
 def test_two_pi_smoothing_example(capsys):
     run_example("two_pi_smoothing.py",
                 ["--n", "20", "--epochs", "1"])
