@@ -142,7 +142,12 @@ def run_serving_bench(output: str, quick: bool = False) -> int:
 
     from repro.autodiff.rng import spawn_rng
     from repro.donn import DONN, DONNConfig
-    from repro.serve import ModelStore, benchmark_serving, write_snapshot
+    from repro.serve import (
+        ModelStore,
+        benchmark_fault_recovery,
+        benchmark_serving,
+        write_snapshot,
+    )
 
     scale = 16 if quick else 1
     with tempfile.TemporaryDirectory() as tmp:
@@ -166,6 +171,17 @@ def run_serving_bench(output: str, quick: bool = False) -> int:
             batch_sizes=(1, 32), shard_counts=(1, 2), precision="single",
             verbose=True,
         )
+        # Fault recovery: the same closed-loop load with a process shard
+        # killed mid-run (os._exit in the child); every response is
+        # byte-checked against a serial engine and /healthz must come
+        # back to "ok".  The summary ratio is throughput retained under
+        # the fault.
+        artifact = store.path("bench-n20")
+        workloads["fault_recovery"] = benchmark_fault_recovery(
+            artifact=artifact, n_requests=512 // scale, concurrency=32,
+            max_batch=8, shards=2, backend="process",
+            kill_shard=1, kill_after=2, verbose=True,
+        )
     snapshot = {
         "workloads": workloads,
         "summary": {
@@ -177,13 +193,28 @@ def run_serving_bench(output: str, quick: bool = False) -> int:
     write_snapshot(output, snapshot)
     print(f"wrote {output}")
     for label, value in sorted(snapshot["summary"].items()):
-        print(f"  {label}: {value:.2f}x")
+        if isinstance(value, float):
+            print(f"  {label}: {value:.2f}x")
+        else:
+            print(f"  {label}: {value}")
+    status = 0
     accepted = snapshot["summary"].get("n20_double.batch32_vs_batch1", 0.0)
     if not quick and accepted < 2.0:
         print(f"ACCEPTANCE FAILED: batch-32 coalescing {accepted:.2f}x "
               "< 2x over one-request-at-a-time", file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    # Correctness gates hold even in --quick: a kill must recover to a
+    # healthy pool with byte-identical answers regardless of load size.
+    fault = snapshot["summary"]
+    if not fault.get("fault_recovery.byte_identical", False):
+        print("ACCEPTANCE FAILED: responses under a shard kill were not "
+              "byte-identical to the serial engine", file=sys.stderr)
+        status = 1
+    if not fault.get("fault_recovery.recovered", False):
+        print("ACCEPTANCE FAILED: /healthz did not return to ok after "
+              "the injected shard kill", file=sys.stderr)
+        status = 1
+    return status
 
 
 def _timeit(fn, rounds: int, warmup: int = 1) -> dict:

@@ -167,6 +167,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-size", type=int, default=0,
                        help="LRU result-cache entries for repeated "
                             "identical requests (0 disables)")
+        p.add_argument("--max-inflight", type=int, default=None,
+                       metavar="N",
+                       help="admission window: requests beyond N "
+                            "in flight are shed with 429 + Retry-After "
+                            "(default: unbounded)")
+        p.add_argument("--deadline-ms", type=float, default=None,
+                       metavar="MS",
+                       help="default per-request deadline; expired "
+                            "requests fail fast with 504")
+        p.add_argument("--faults", default=None, metavar="PLAN",
+                       help="fault-injection plan for chaos testing, "
+                            "e.g. 'kill:shard=1,after=3' (also read "
+                            "from $REPRO_FAULTS; see docs/serving.md)")
 
     serve = sub.add_parser(
         "serve", help="serve a model artifact over HTTP/JSON"
@@ -375,6 +388,9 @@ def _serve_config(args, host=None, port=None):
         shards=args.shards,
         backend=args.backend,
         cache_size=args.cache_size,
+        max_inflight=args.max_inflight,
+        default_deadline_ms=args.deadline_ms,
+        faults=args.faults,
     )
     if host is not None:
         kwargs["host"] = host
@@ -445,28 +461,66 @@ def _cmd_bench_serve(args) -> int:
                   file=sys.stderr)
             return 2
         artifact = resolve_artifact(args.model)
-        with Server(artifact=artifact, config=_serve_config(args)) as server:
+        config = _serve_config(args)
+        plan = config.resolved_faults()
+        with Server(artifact=artifact, config=config) as server:
             server.warmup()
+            mismatches = [0]
             if args.check:
                 from .utils.serialization import load_model
 
                 reference = load_model(artifact).inference_engine(
                     precision=server.resolved_precision()
                 )
-                served = server.predict(samples)
-                expected = np.stack([
-                    reference.predict(sample[None])[0] for sample in samples
-                ])
-                if not np.array_equal(served, expected):
-                    print("CHECK FAILED: served predictions differ from "
-                          "serial engine", file=sys.stderr)
-                    return 1
-                print("check: served predictions byte-identical to serial "
-                      "engine")
-            send = (lambda sample:
-                    server.submit("predict", sample).result())
+                expected = {
+                    np.ascontiguousarray(sample).tobytes():
+                    reference.predict(sample[None])[0]
+                    for sample in samples
+                }
+
+                def send(sample):
+                    row = np.asarray(
+                        server.submit("predict", sample).result()
+                    )
+                    key = np.ascontiguousarray(sample).tobytes()
+                    if not np.array_equal(row, expected[key]):
+                        mismatches[0] += 1
+                    return row
+            else:
+                send = (lambda sample:
+                        server.submit("predict", sample).result())
             stats = run_load(send, samples, args.requests, args.concurrency)
             stats["batcher"] = server.stats()["batcher"]
+            if plan:
+                # Chaos run: drive traffic until the respawned shards
+                # are folded back in and /healthz reads plain "ok".
+                import time as _time
+
+                give_up = _time.monotonic() + 30.0
+                while (server.health()["status"] != "ok"
+                       and _time.monotonic() < give_up):
+                    server.settle(timeout=5.0)
+                    for future in [server.submit("predict", sample)
+                                   for sample in samples[:8]]:
+                        future.result()
+                health = server.health()
+                stats["health"] = health
+                print(f"faults: {plan} -> health {health['status']} "
+                      f"(restarts {health['restarts']}, "
+                      f"failures {health['failures']}, "
+                      f"retries {health['retries']})")
+                if health["status"] != "ok":
+                    print("FAULT RECOVERY FAILED: /healthz did not return "
+                          "to ok", file=sys.stderr)
+                    return 1
+            if args.check:
+                if mismatches[0]:
+                    print(f"CHECK FAILED: {mismatches[0]} served "
+                          f"prediction(s) differ from serial engine",
+                          file=sys.stderr)
+                    return 1
+                print("check: served predictions byte-identical to serial "
+                      "engine (verified under load)")
             snapshot = {"target": str(artifact), "load": stats}
     print(f"{stats['requests']} requests, concurrency "
           f"{stats['concurrency']}: {stats['throughput_rps']} req/s  "

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -128,8 +130,15 @@ def save_run(
         "stages": [record.as_dict() for record in result.stages],
         "model": MODEL_FILE,
     }
+    # Crash safety: both files are written to temp names in the run
+    # directory and atomically renamed into place, model first and the
+    # manifest last — so a ``run.json`` on disk *is* the completeness
+    # marker (a crash mid-save leaves a manifest-less directory that
+    # :func:`load_runs` simply never sees).  The temp model name keeps
+    # the ``.npz`` suffix because ``save_model`` appends one otherwise.
+    model_tmp = run_dir / f".{MODEL_FILE}.tmp.npz"
     save_model(
-        run_dir / MODEL_FILE,
+        model_tmp,
         result.model,
         metadata={
             "recipe": result.recipe,
@@ -141,10 +150,13 @@ def save_run(
         },
         precision=config.precision,
     )
-    (run_dir / RUN_FILE).write_text(
+    os.replace(model_tmp, run_dir / MODEL_FILE)
+    manifest_tmp = run_dir / f".{RUN_FILE}.tmp"
+    manifest_tmp.write_text(
         json.dumps(_json_safe(manifest), indent=2, sort_keys=True,
                    allow_nan=False) + "\n"
     )
+    os.replace(manifest_tmp, run_dir / RUN_FILE)
     return run_dir
 
 
@@ -237,17 +249,34 @@ def load_run(path: Union[str, Path]) -> RunResult:
 
 def load_runs(root: Union[str, Path]) -> List[RunResult]:
     """Load every run directory under ``root`` (or ``root`` itself when
-    it is a single run directory), sorted by directory name."""
+    it is a single run directory), sorted by directory name.
+
+    A corrupt run directory (truncated/garbled ``run.json``, unknown
+    format or version) is *skipped with a warning* rather than aborting
+    the whole report — one bad run must not hold the healthy ones
+    hostage.  It only raises when ``root`` holds no loadable run at all.
+    """
     root = Path(root)
     if not root.is_dir():
         raise FileNotFoundError(f"no runs directory at {root}")
     if (root / RUN_FILE).is_file():
         return [load_run(root)]
-    runs = [
-        load_run(manifest.parent)
-        for manifest in sorted(root.glob(f"*/{RUN_FILE}"))
-    ]
+    runs: List[RunResult] = []
+    corrupt = 0
+    for manifest in sorted(root.glob(f"*/{RUN_FILE}")):
+        try:
+            runs.append(load_run(manifest.parent))
+        except (ValueError, KeyError) as exc:
+            corrupt += 1
+            warnings.warn(
+                f"skipping corrupt run directory {manifest.parent}: {exc}",
+                RuntimeWarning, stacklevel=2,
+            )
     if not runs:
+        if corrupt:
+            raise FileNotFoundError(
+                f"all {corrupt} run directories under {root} are corrupt"
+            )
         raise FileNotFoundError(
             f"no run directories (containing {RUN_FILE}) under {root}"
         )

@@ -18,15 +18,40 @@ The serving story on top of :mod:`repro.runtime`:
 * :mod:`repro.serve.bench` — the load generator behind
   ``repro bench-serve`` and ``benchmarks/BENCH_serving.json``.
 
+Fault tolerance rides through the whole stack: the pool supervises its
+shards (respawn + bounded retry + quarantine, see
+:mod:`repro.serve.workers`), requests carry deadlines
+(:class:`~repro.serve.errors.DeadlineExceeded` → 504), the server sheds
+load beyond ``max_inflight`` (:class:`~repro.serve.errors.Overloaded` →
+429) and drains gracefully (503), and :class:`~repro.serve.faults.FaultPlan`
+injects deterministic chaos (kill/delay/error) for tests and the
+``BENCH_serving.json`` fault-recovery grid.
+
 See ``docs/serving.md`` for the architecture and the artifact format.
 """
 
 from .batching import BatcherStats, MicroBatcher
-from .bench import benchmark_serving, http_sender, run_load, write_snapshot
+from .bench import (
+    benchmark_fault_recovery,
+    benchmark_serving,
+    http_sender,
+    run_load,
+    write_snapshot,
+)
+from .errors import (
+    DeadlineExceeded,
+    Draining,
+    FaultInjected,
+    NoHealthyShards,
+    Overloaded,
+    ServeError,
+    ShardCrash,
+)
+from .faults import FaultPlan, FaultSpec
 from .http import HTTPFrontend
 from .server import ResultCache, ServeConfig, Server
 from .store import ModelStore, resolve_artifact
-from .workers import REQUEST_KINDS, ShardedPool
+from .workers import REQUEST_KINDS, SHARD_STATES, ShardedPool
 
 __all__ = [
     "ModelStore",
@@ -35,12 +60,23 @@ __all__ = [
     "BatcherStats",
     "ShardedPool",
     "REQUEST_KINDS",
+    "SHARD_STATES",
     "Server",
     "ServeConfig",
     "ResultCache",
     "HTTPFrontend",
+    "benchmark_fault_recovery",
     "benchmark_serving",
     "http_sender",
     "run_load",
     "write_snapshot",
+    "ServeError",
+    "DeadlineExceeded",
+    "Overloaded",
+    "Draining",
+    "NoHealthyShards",
+    "ShardCrash",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
 ]

@@ -37,11 +37,13 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from concurrent.futures import Future, InvalidStateError
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .errors import DeadlineExceeded
 from .workers import REQUEST_KINDS
 
 __all__ = ["MicroBatcher", "BatcherStats"]
@@ -51,7 +53,8 @@ class BatcherStats:
     """Counters describing how well coalescing is working."""
 
     __slots__ = ("requests", "batches", "rows", "max_batch_seen",
-                 "full_flushes", "timer_flushes", "drain_flushes")
+                 "full_flushes", "timer_flushes", "drain_flushes",
+                 "expired")
 
     def __init__(self) -> None:
         self.requests = 0
@@ -61,6 +64,7 @@ class BatcherStats:
         self.full_flushes = 0
         self.timer_flushes = 0
         self.drain_flushes = 0
+        self.expired = 0
 
     def as_dict(self) -> Dict[str, float]:
         mean = self.rows / self.batches if self.batches else 0.0
@@ -72,11 +76,13 @@ class BatcherStats:
             "full_flushes": self.full_flushes,
             "timer_flushes": self.timer_flushes,
             "drain_flushes": self.drain_flushes,
+            "expired": self.expired,
         }
 
 
-#: One waiting request: its payload and the future its row resolves.
-_Pending = Tuple[np.ndarray, Future]
+#: One waiting request: its payload, the future its row resolves, and
+#: its absolute ``time.monotonic()`` deadline (or None).
+_Pending = Tuple[np.ndarray, Future, Optional[float]]
 
 
 class MicroBatcher:
@@ -119,9 +125,17 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Hot path (any thread)
     # ------------------------------------------------------------------
-    def submit_nowait(self, kind: str, sample) -> Future:
+    def submit_nowait(self, kind: str, sample,
+                      deadline: Optional[float] = None) -> Future:
         """Enqueue one sample; the returned future resolves to its row
-        of the coalesced result."""
+        of the coalesced result.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant.  A
+        request that is still queued when its deadline passes fails
+        with :class:`~repro.serve.errors.DeadlineExceeded` — an expiry
+        timer on the loop sweeps it out of its group, so it fails *at*
+        the deadline, not whenever the group happens to flush.
+        """
         if kind not in REQUEST_KINDS:
             raise ValueError(
                 f"unknown request kind {kind!r}; expected one of "
@@ -134,26 +148,37 @@ class MicroBatcher:
                 f"{sample.shape}"
             )
         future: Future = Future()
+        if deadline is not None and deadline <= time.monotonic():
+            self.stats.expired += 1
+            future.set_exception(DeadlineExceeded(
+                "deadline expired before the request was enqueued"
+            ))
+            return future
         key = (kind, sample.shape, sample.dtype.kind)
         flush_now = None
         with self._lock:
             if self._closed:
                 raise RuntimeError("batcher is closed")
             group = self._pending.setdefault(key, [])
-            group.append((sample, future))
+            group.append((sample, future, deadline))
             self.stats.requests += 1
             if len(group) >= self.max_batch:
                 self.stats.full_flushes += 1
                 flush_now = self._take(key)
             elif len(group) == 1:
                 self.loop.call_soon_threadsafe(self._arm_timer, key)
+        if deadline is not None:
+            self.loop.call_soon_threadsafe(self._arm_expiry, key, deadline)
         if flush_now is not None:
             self._dispatch(key[0], flush_now)
         return future
 
-    async def submit(self, kind: str, sample) -> np.ndarray:
+    async def submit(self, kind: str, sample,
+                     deadline: Optional[float] = None) -> np.ndarray:
         """Coroutine flavor of :meth:`submit_nowait` (same semantics)."""
-        return await asyncio.wrap_future(self.submit_nowait(kind, sample))
+        return await asyncio.wrap_future(
+            self.submit_nowait(kind, sample, deadline=deadline)
+        )
 
     # ------------------------------------------------------------------
     # Timer plane (event-loop thread)
@@ -177,6 +202,43 @@ class MicroBatcher:
         if taken is not None:
             self._dispatch(key[0], taken)
 
+    def _arm_expiry(self, key: tuple, deadline: float) -> None:
+        """One ``call_later`` per deadlined request: when it fires, any
+        entries of the group past their deadline are swept out and
+        failed.  Stale timers (the request was already flushed) find
+        nothing expired and do nothing."""
+        self.loop.call_later(max(0.0, deadline - time.monotonic()),
+                             self._expiry_fired, key)
+
+    def _expiry_fired(self, key: tuple) -> None:
+        now = time.monotonic()
+        expired: List[_Pending] = []
+        with self._lock:
+            group = self._pending.get(key)
+            if not group:
+                return
+            live = [entry for entry in group
+                    if entry[2] is None or entry[2] > now]
+            expired = [entry for entry in group
+                       if entry[2] is not None and entry[2] <= now]
+            if not expired:
+                return
+            self.stats.expired += len(expired)
+            if live:
+                self._pending[key] = live
+            else:
+                self._pending.pop(key)
+                timer = self._timers.pop(key, None)
+                if timer is not None:
+                    timer.cancel()
+        for _, future, _ in expired:
+            try:
+                future.set_exception(DeadlineExceeded(
+                    "deadline expired while queued for batching"
+                ))
+            except InvalidStateError:
+                pass
+
     # ------------------------------------------------------------------
     # Flush & delivery
     # ------------------------------------------------------------------
@@ -197,9 +259,6 @@ class MicroBatcher:
         return group
 
     def _dispatch(self, kind: str, group: List[_Pending]) -> None:
-        batch = np.stack([sample for sample, _ in group])
-        futures = [future for _, future in group]
-
         def _resolve(future: Future, value, exc) -> None:
             # A caller may have cancelled its future (e.g. an asyncio
             # timeout through ``wrap_future``); that must never poison
@@ -213,8 +272,34 @@ class MicroBatcher:
             except InvalidStateError:
                 pass
 
+        # Fail rows whose deadline passed while they waited; computing
+        # them would be wasted engine time nobody is allowed to read.
+        now = time.monotonic()
+        expired = [entry for entry in group
+                   if entry[2] is not None and entry[2] <= now]
+        if expired:
+            with self._lock:
+                self.stats.expired += len(expired)
+            for _, future, _ in expired:
+                _resolve(future, None, DeadlineExceeded(
+                    "deadline expired while queued for batching"
+                ))
+            group = [entry for entry in group
+                     if entry[2] is None or entry[2] > now]
+            if not group:
+                return
+        batch = np.stack([sample for sample, _, _ in group])
+        futures = [future for _, future, _ in group]
+        # The batch's retry budget stays useful as long as *some* row
+        # may still be served: no deadline at all if any row has none,
+        # otherwise the latest row deadline.
+        deadlines = [deadline for _, _, deadline in group]
+        batch_deadline = None if any(d is None for d in deadlines) \
+            else max(deadlines)
+
         try:
-            pool_future = self.pool.submit(kind, batch)
+            pool_future = self.pool.submit(kind, batch,
+                                           deadline=batch_deadline)
         except BaseException as exc:  # noqa: BLE001 — forwarded
             for future in futures:
                 _resolve(future, None, exc)

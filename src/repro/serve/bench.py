@@ -18,6 +18,7 @@ deployment over the wire.
 from __future__ import annotations
 
 import json
+import random
 import threading
 import time
 from pathlib import Path
@@ -27,7 +28,8 @@ import numpy as np
 
 from .server import ServeConfig, Server
 
-__all__ = ["run_load", "benchmark_serving", "http_sender", "write_snapshot"]
+__all__ = ["run_load", "benchmark_serving", "benchmark_fault_recovery",
+           "http_sender", "write_snapshot"]
 
 
 def _latency_stats(latencies_s: List[float], elapsed_s: float,
@@ -97,20 +99,63 @@ def run_load(
 
 
 def http_sender(url: str, route: str = "/v1/predict",
-                timeout: float = 30.0) -> Callable[[np.ndarray], object]:
-    """A ``send`` callable POSTing single samples to a live server."""
+                timeout: float = 30.0,
+                max_retries: int = 3,
+                backoff: float = 0.05,
+                backoff_cap: float = 2.0,
+                deadline_ms: Optional[float] = None,
+                ) -> Callable[[np.ndarray], object]:
+    """A ``send`` callable POSTing single samples to a live server.
+
+    Production clients retry what the server explicitly invites them to
+    retry, and so does this one: connection errors and ``429``/``503``
+    responses are retried up to ``max_retries`` times with capped,
+    jittered exponential backoff, honoring a ``Retry-After`` header
+    when the server sends one (still capped by ``backoff_cap``).
+    Anything else — 400s, 504 deadline expiries, 500s — propagates
+    immediately.  ``deadline_ms`` rides along in the request body.
+    """
+    import urllib.error
     import urllib.request
 
     endpoint = url.rstrip("/") + route
+    jitter = random.Random(0xB0FF)
+
+    def _backoff_delay(attempt: int, retry_after: Optional[str]) -> float:
+        if retry_after is not None:
+            try:
+                return min(float(retry_after), backoff_cap)
+            except ValueError:
+                pass  # HTTP-date flavor or garbage; fall through
+        delay = min(backoff_cap, backoff * (2 ** attempt))
+        return delay * (0.5 + jitter.random() / 2)
 
     def send(sample: np.ndarray):
-        body = json.dumps({"inputs": np.asarray(sample).tolist()})
-        request = urllib.request.Request(
-            endpoint, data=body.encode("utf-8"),
-            headers={"Content-Type": "application/json"}, method="POST",
-        )
-        with urllib.request.urlopen(request, timeout=timeout) as response:
-            return json.loads(response.read())
+        payload = {"inputs": np.asarray(sample).tolist()}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        body = json.dumps(payload).encode("utf-8")
+        attempt = 0
+        while True:
+            request = urllib.request.Request(
+                endpoint, data=body,
+                headers={"Content-Type": "application/json"}, method="POST",
+            )
+            try:
+                with urllib.request.urlopen(request,
+                                            timeout=timeout) as response:
+                    return json.loads(response.read())
+            except urllib.error.HTTPError as exc:
+                if exc.code not in (429, 503) or attempt >= max_retries:
+                    raise
+                delay = _backoff_delay(attempt,
+                                       exc.headers.get("Retry-After"))
+            except (urllib.error.URLError, ConnectionError):
+                if attempt >= max_retries:
+                    raise
+                delay = _backoff_delay(attempt, None)
+            time.sleep(delay)
+            attempt += 1
 
     return send
 
@@ -230,6 +275,180 @@ def benchmark_serving(
             "backend": backend,
             "precision": precision,
             "max_delay": max_delay,
+            "model_n": int(base_model.config.n),
+            "num_layers": len(base_model.layers),
+            "seed": seed,
+        },
+        "cases": cases,
+        "summary": summary,
+    }
+
+
+def benchmark_fault_recovery(
+    model=None,
+    artifact=None,
+    n_requests: int = 256,
+    concurrency: int = 16,
+    max_batch: int = 8,
+    shards: int = 2,
+    backend: str = "thread",
+    precision: str = "double",
+    max_delay: float = 0.005,
+    kill_shard: int = 1,
+    kill_after: int = 2,
+    image_size: int = 28,
+    distinct_images: int = 32,
+    seed: int = 0,
+    kind: str = "predict",
+    verbose: bool = False,
+) -> Dict[str, object]:
+    """The fault-recovery grid: the same closed-loop workload with no
+    faults and with one shard killed mid-load.
+
+    The killed case injects ``kill:shard=K,after=N`` (shard K dies on
+    its N-th batch; warmup is batch 0), so the supervisor must detect
+    the death, retry the in-flight batch on a healthy shard, respawn
+    the dead one and fold it back in — all while the load test keeps
+    byte-checking every response against a serial engine reference.  A
+    health poller records the ``ok -> degraded -> ok`` trajectory, and
+    after the load drains, traffic is driven until ``/healthz`` reports
+    ``ok`` again (``recovery_s``).  The summary's
+    ``kill_one_shard_vs_no_fault`` ratio is the throughput retained
+    under the fault.
+    """
+    if shards < 2:
+        raise ValueError(
+            f"fault recovery needs a healthy shard to retry on; got "
+            f"shards={shards}"
+        )
+    rng = np.random.default_rng(seed)
+    samples = rng.random((distinct_images, image_size, image_size))
+    index_of = {
+        np.ascontiguousarray(sample).tobytes(): index
+        for index, sample in enumerate(samples)
+    }
+
+    def note(message: str) -> None:
+        if verbose:
+            print(message, flush=True)
+
+    # -- Serial-engine ground truth every response is checked against.
+    if model is None:
+        from ..utils.serialization import load_model
+
+        base_model = load_model(artifact)
+    else:
+        base_model = model
+    engine = base_model.inference_engine(precision=precision)
+    reference = np.asarray(getattr(engine, kind)(samples))
+
+    def run_case(label: str, faults: Optional[str]) -> Dict[str, object]:
+        config = ServeConfig(
+            precision=precision, max_batch=max_batch, max_delay=max_delay,
+            shards=shards, backend=backend, faults=faults,
+        )
+        statuses: List[str] = []
+        stop_polling = threading.Event()
+        mismatches = [0]
+        with Server(model=model, artifact=artifact, config=config) as server:
+            server.warmup()
+
+            def poll() -> None:
+                while not stop_polling.is_set():
+                    status = server.health()["status"]
+                    if not statuses or statuses[-1] != status:
+                        statuses.append(status)
+                    time.sleep(0.001)
+
+            poller = threading.Thread(target=poll, daemon=True)
+            poller.start()
+
+            def send(sample: np.ndarray):
+                row = np.asarray(server.submit(kind, sample).result())
+                index = index_of[np.ascontiguousarray(sample).tobytes()]
+                if not np.array_equal(row, reference[index]):
+                    mismatches[0] += 1
+                return row
+
+            stats = run_load(send, samples, n_requests, concurrency)
+
+            # -- Recovery: drive traffic until the respawned shard has
+            # served a batch again and /healthz is back to plain "ok".
+            recovery_s: Optional[float] = None
+            if server.health()["status"] == "ok":
+                recovery_s = 0.0
+            else:
+                begin = time.perf_counter()
+                give_up = begin + 30.0
+                while time.perf_counter() < give_up:
+                    server.settle(timeout=5.0)
+                    futures = [
+                        server.submit(kind, samples[i % len(samples)])
+                        for i in range(shards * max_batch)
+                    ]
+                    for i, future in enumerate(futures):
+                        send_index = i % len(samples)
+                        row = np.asarray(future.result())
+                        if not np.array_equal(row, reference[send_index]):
+                            mismatches[0] += 1
+                    if server.health()["status"] == "ok":
+                        recovery_s = time.perf_counter() - begin
+                        break
+
+            stop_polling.set()
+            poller.join(timeout=1.0)
+            final_health = server.health()
+            pool_stats = server.stats()["pool"]
+
+        stats["byte_identical"] = mismatches[0] == 0
+        stats["mismatches"] = mismatches[0]
+        stats["health_trajectory"] = statuses
+        stats["final_status"] = final_health["status"]
+        stats["recovered"] = final_health["status"] == "ok"
+        stats["recovery_s"] = (
+            round(recovery_s, 4) if recovery_s is not None else None
+        )
+        stats["restarts"] = pool_stats["restarts"]
+        stats["failures"] = pool_stats["failures"]
+        stats["retries"] = pool_stats["retries"]
+        note(f"{label}: {stats['throughput_rps']} rps, "
+             f"health {' -> '.join(statuses) or 'ok'}, "
+             f"restarts {stats['restarts']}, "
+             f"byte_identical {stats['byte_identical']}")
+        return stats
+
+    cases = {
+        "no_fault": run_case("no_fault", None),
+        "kill_one_shard": run_case(
+            "kill_one_shard",
+            f"kill:shard={kill_shard},after={kill_after}",
+        ),
+    }
+
+    summary = {
+        "kill_one_shard_vs_no_fault": round(
+            cases["kill_one_shard"]["throughput_rps"]
+            / cases["no_fault"]["throughput_rps"], 3
+        ),
+        "byte_identical": all(c["byte_identical"] for c in cases.values()),
+        "recovered": cases["kill_one_shard"]["recovered"],
+        "restarts": int(sum(cases["kill_one_shard"]["restarts"])),
+    }
+
+    return {
+        "workload": {
+            "n_requests": n_requests,
+            "concurrency": concurrency,
+            "kind": kind,
+            "image_size": image_size,
+            "distinct_images": distinct_images,
+            "backend": backend,
+            "precision": precision,
+            "max_batch": max_batch,
+            "max_delay": max_delay,
+            "shards": shards,
+            "kill_shard": kill_shard,
+            "kill_after": kill_after,
             "model_n": int(base_model.config.n),
             "num_layers": len(base_model.layers),
             "seed": seed,

@@ -7,7 +7,9 @@ are coalesced into engine batches exactly like programmatic callers.
 
 Endpoints
 ---------
-``GET  /healthz``        liveness + batcher/pool counters
+``GET  /healthz``        health model (``ok``/``degraded``/``unhealthy``/
+                         ``draining``) + per-shard state + counters;
+                         HTTP 200 while traffic is served, 503 otherwise
 ``GET  /v1/model``       artifact + deployment description
 ``POST /v1/predict``     ``{"inputs": <2-D sample or 3-D batch>}`` -> labels
 ``POST /v1/logits``      same request shape -> per-class logits
@@ -16,18 +18,35 @@ Endpoints
 Raw images may be any resolution (they go through the model's amplitude
 encoder); pre-encoded complex fields are sent as
 ``{"inputs": <real part>, "inputs_imag": <imag part>}`` with shape
-``(n, n)`` / ``(batch, n, n)``.  Errors come back as
-``{"error": "..."}`` with a 4xx/5xx status.
+``(n, n)`` / ``(batch, n, n)``.  A request may carry a deadline —
+``"deadline_ms"`` in the JSON body or an ``X-Deadline-Ms`` header (the
+header wins) — after which it fails fast with **504** instead of
+queueing forever.  Errors come back as ``{"error": "..."}``:
+
+* 400 — malformed request (bad JSON, shapes, types)
+* 429 — admission window full (``max_inflight``); honors ``Retry-After``
+* 503 — draining, or no healthy shard left; honors ``Retry-After``
+* 504 — the request's deadline expired before a result was produced
+* 500 — anything else (including injected chaos faults)
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
+
+from .errors import (
+    DeadlineExceeded,
+    Draining,
+    FaultInjected,
+    NoHealthyShards,
+    Overloaded,
+)
 
 __all__ = ["HTTPFrontend"]
 
@@ -43,6 +62,26 @@ _MAX_BODY = 64 * 1024 * 1024  # refuse absurd request bodies outright
 
 class _BadRequest(ValueError):
     """A client error that should produce a 400, not a 500."""
+
+
+def _parse_deadline_ms(payload: dict,
+                       header: Optional[str]) -> Optional[float]:
+    """The request deadline in milliseconds: ``X-Deadline-Ms`` header
+    over a ``deadline_ms`` body field, else None."""
+    raw = header if header is not None else payload.get("deadline_ms")
+    if raw is None:
+        return None
+    try:
+        deadline_ms = float(raw)
+    except (TypeError, ValueError) as exc:
+        raise _BadRequest(
+            f"deadline_ms is not a number: {raw!r}"
+        ) from exc
+    if not math.isfinite(deadline_ms) or deadline_ms < 0:
+        raise _BadRequest(
+            f"deadline_ms must be a finite value >= 0, got {deadline_ms}"
+        )
+    return deadline_ms
 
 
 def _parse_inputs(payload: dict) -> np.ndarray:
@@ -85,11 +124,14 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 — stdlib signature
         pass  # request logging is the operator's job, not stderr's
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -101,8 +143,12 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
         if self.path == "/healthz":
-            self._send_json(200, {"status": "ok",
-                                  **self._app().stats()})
+            health = self._app().health()
+            # ok/degraded still serve traffic (200); draining/unhealthy
+            # tell load balancers to route elsewhere (503).
+            status = 200 if health.get("status") in ("ok", "degraded") \
+                else 503
+            self._send_json(status, health)
         elif self.path == "/v1/model":
             self._send_json(200, self._app().info())
         else:
@@ -131,10 +177,28 @@ class _Handler(BaseHTTPRequestHandler):
                 payload = json.loads(self.rfile.read(length))
             except json.JSONDecodeError as exc:
                 raise _BadRequest(f"invalid JSON: {exc}") from exc
+            deadline_ms = _parse_deadline_ms(
+                payload, self.headers.get("X-Deadline-Ms")
+            )
             inputs = _parse_inputs(payload)
-            result = getattr(self._app(), kind)(inputs)
+            result = getattr(self._app(), kind)(inputs,
+                                                deadline_ms=deadline_ms)
         except _BadRequest as exc:
             self._send_json(400, {"error": str(exc)})
+        except DeadlineExceeded as exc:
+            self._send_json(504, {"error": str(exc)})
+        except Overloaded as exc:
+            self._send_json(429, {"error": str(exc)},
+                            {"Retry-After":
+                             str(max(1, math.ceil(exc.retry_after)))})
+        except Draining as exc:
+            self._send_json(503, {"error": str(exc)},
+                            {"Retry-After":
+                             str(max(1, math.ceil(exc.retry_after)))})
+        except NoHealthyShards as exc:
+            self._send_json(503, {"error": str(exc)})
+        except FaultInjected as exc:
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
         except ValueError as exc:
             # Shape/validation errors surfaced by the engine.
             self._send_json(400, {"error": str(exc)})

@@ -29,6 +29,7 @@ import hashlib
 import os
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -38,6 +39,8 @@ from typing import Any, Dict, List, Optional, Union
 import numpy as np
 
 from .batching import MicroBatcher
+from .errors import Draining, Overloaded
+from .faults import FaultPlan
 from .store import resolve_artifact
 from .workers import REQUEST_KINDS, ShardedPool
 
@@ -61,6 +64,22 @@ class ServeConfig:
     batcher/engine entirely (hits are byte-identical to misses,
     test-enforced).  Off by default so throughput benchmarks measure the
     engine, not the cache.
+
+    Fault tolerance (see ``docs/serving.md``):
+
+    * ``max_inflight`` bounds admitted-but-unanswered requests; beyond
+      it :meth:`Server.submit` sheds load with
+      :class:`~repro.serve.errors.Overloaded` (HTTP 429 + Retry-After)
+      instead of queueing until the process falls over.  ``None`` means
+      unbounded.
+    * ``default_deadline_ms`` applies to requests that carry no explicit
+      deadline; expired requests fail fast with
+      :class:`~repro.serve.errors.DeadlineExceeded` (HTTP 504).
+    * ``max_retries`` / ``max_restarts`` parameterize the shard
+      supervisor (retry budget per batch, respawn budget per shard).
+    * ``faults`` is a :class:`~repro.serve.faults.FaultPlan` spec string
+      for chaos testing; when ``None`` the ``REPRO_FAULTS`` environment
+      variable is consulted.
     """
 
     precision: Optional[str] = None
@@ -72,11 +91,23 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 8000
     cache_size: int = 0
+    max_inflight: Optional[int] = None
+    default_deadline_ms: Optional[float] = None
+    max_retries: int = 3
+    max_restarts: int = 2
+    faults: Optional[str] = None
 
     def resolved_engine_batch(self) -> int:
         if self.engine_batch is not None:
             return int(self.engine_batch)
         return max(64, int(self.max_batch))
+
+    def resolved_faults(self) -> Optional[FaultPlan]:
+        """The configured fault plan: ``faults`` wins, else the
+        ``REPRO_FAULTS`` environment variable, else nothing."""
+        if self.faults is not None:
+            return FaultPlan.parse(self.faults)
+        return FaultPlan.from_env()
 
 
 class ResultCache:
@@ -189,6 +220,8 @@ class Server:
         self._http = None
         self._started = False
         self._closed = False
+        self._draining = False
+        self._inflight = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -211,6 +244,9 @@ class Server:
                 backend=cfg.backend,
                 precision=self.resolved_precision(),
                 engine_batch=cfg.resolved_engine_batch(),
+                faults=cfg.resolved_faults(),
+                max_retries=cfg.max_retries,
+                max_restarts=cfg.max_restarts,
             )
             self._cache = (
                 ResultCache(cfg.cache_size) if cfg.cache_size > 0 else None
@@ -234,10 +270,20 @@ class Server:
         self._pool.warmup()
         return self
 
+    def begin_drain(self) -> None:
+        """Refuse new requests (they fail with
+        :class:`~repro.serve.errors.Draining` → HTTP 503 + Retry-After)
+        while already-admitted ones finish.  ``/healthz`` reports
+        ``draining`` so load balancers stop routing here.  Idempotent;
+        :meth:`stop` drains first."""
+        with self._lock:
+            self._draining = True
+
     def stop(self) -> None:
         """Tear the stack down; safe to call twice (and before start —
         a never-started process-backend server still cleans up its
         transient artifact)."""
+        self.begin_drain()
         with self._lock:
             self._closed = True
             started = self._started
@@ -288,23 +334,72 @@ class Server:
                 return recorded
         return "double"
 
-    def submit(self, kind: str, sample):
+    def submit(self, kind: str, sample, deadline_ms: Optional[float] = None):
         """Enqueue one sample; returns a ``concurrent.futures.Future``
         resolving to its row of the coalesced result.
+
+        ``deadline_ms`` (or ``ServeConfig.default_deadline_ms``) bounds
+        how long the request may take end to end: once it passes, the
+        request fails with
+        :class:`~repro.serve.errors.DeadlineExceeded` instead of
+        waiting — whether it is queued, or burning the supervisor's
+        retry budget after a shard death.
+
+        Admission control: with ``max_inflight`` set, a submit beyond
+        the window raises :class:`~repro.serve.errors.Overloaded`
+        immediately (shed early, not after queueing); a draining server
+        raises :class:`~repro.serve.errors.Draining`.
 
         With ``cache_size`` enabled, a byte-identical repeat of an
         earlier request resolves immediately from the LRU result cache
         without touching the batcher or an engine.
         """
         self.start()
+        with self._lock:
+            if self._draining:
+                raise Draining(
+                    "server is draining and refuses new requests"
+                )
+            limit = self.config.max_inflight
+            if limit is not None and self._inflight >= limit:
+                raise Overloaded(
+                    f"admission window full ({self._inflight} >= "
+                    f"max_inflight={limit})",
+                    retry_after=max(0.05, 4 * self.config.max_delay),
+                )
+            self._inflight += 1
         batcher = self._batcher  # stop() may null the attribute anytime
         if batcher is None:
+            with self._lock:
+                self._inflight -= 1
             raise RuntimeError(
                 "server was stopped; build a new Server to serve again"
             )
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        deadline = (
+            time.monotonic() + float(deadline_ms) / 1e3
+            if deadline_ms is not None else None
+        )
+
+        def _admit_done(_future) -> None:
+            with self._lock:
+                self._inflight -= 1
+
+        try:
+            future = self._submit_inner(batcher, kind, sample, deadline)
+        except BaseException:
+            with self._lock:
+                self._inflight -= 1
+            raise
+        future.add_done_callback(_admit_done)
+        return future
+
+    def _submit_inner(self, batcher, kind: str, sample,
+                      deadline: Optional[float]):
         cache = self._cache
         if cache is None:
-            return batcher.submit_nowait(kind, sample)
+            return batcher.submit_nowait(kind, sample, deadline=deadline)
         sample = np.asarray(getattr(sample, "data", sample))
         key = ResultCache.make_key(kind, sample)
         hit = cache.get(key)
@@ -314,7 +409,7 @@ class Server:
             # row in place, exactly as they can on the miss path.
             resolved.set_result(np.array(hit, copy=True))
             return resolved
-        inner = batcher.submit_nowait(kind, sample)
+        inner = batcher.submit_nowait(kind, sample, deadline=deadline)
         future: Future = Future()
 
         def _deliver(done) -> None:
@@ -334,29 +429,37 @@ class Server:
         inner.add_done_callback(_deliver)
         return future
 
-    def _request(self, kind: str, inputs) -> np.ndarray:
+    def _request(self, kind: str, inputs,
+                 deadline_ms: Optional[float] = None) -> np.ndarray:
         inputs = np.asarray(getattr(inputs, "data", inputs))
         if inputs.ndim == 2:
-            return np.asarray(self.submit(kind, inputs).result())
+            return np.asarray(
+                self.submit(kind, inputs, deadline_ms=deadline_ms).result()
+            )
         if inputs.ndim == 3:
-            futures = [self.submit(kind, sample) for sample in inputs]
+            futures = [self.submit(kind, sample, deadline_ms=deadline_ms)
+                       for sample in inputs]
             return np.stack([np.asarray(f.result()) for f in futures])
         raise ValueError(
             f"inputs must be one sample (2-D) or a batch (3-D), got shape "
             f"{inputs.shape}"
         )
 
-    def predict(self, inputs) -> np.ndarray:
+    def predict(self, inputs,
+                deadline_ms: Optional[float] = None) -> np.ndarray:
         """Predicted labels; batches fan out as independent requests
         through the micro-batcher (byte-identical to serial
         ``DONN.predict`` — see :mod:`repro.serve.batching`)."""
-        return self._request("predict", inputs)
+        return self._request("predict", inputs, deadline_ms=deadline_ms)
 
-    def logits(self, inputs) -> np.ndarray:
-        return self._request("logits", inputs)
+    def logits(self, inputs,
+               deadline_ms: Optional[float] = None) -> np.ndarray:
+        return self._request("logits", inputs, deadline_ms=deadline_ms)
 
-    def intensity_map(self, inputs) -> np.ndarray:
-        return self._request("intensity_map", inputs)
+    def intensity_map(self, inputs,
+                      deadline_ms: Optional[float] = None) -> np.ndarray:
+        return self._request("intensity_map", inputs,
+                             deadline_ms=deadline_ms)
 
     # ------------------------------------------------------------------
     # HTTP
@@ -422,6 +525,40 @@ class Server:
         if self._cache is not None:
             stats["cache"] = self._cache.stats()
         return stats
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` payload: overall ``status`` (``ok`` /
+        ``degraded`` / ``unhealthy`` / ``draining``), per-shard state
+        and restart counters, admission occupancy, batcher counters.
+
+        ``degraded`` means traffic is still served while at least one
+        shard is down, respawning or catching up — the signal a replica
+        router uses to deprioritize (not drop) this instance.
+        """
+        with self._lock:
+            started, draining = self._started, self._draining
+            inflight = self._inflight
+            pool, batcher = self._pool, self._batcher
+        if not started or pool is None:
+            return {
+                "status": "draining" if draining else "unhealthy",
+                "started": False,
+            }
+        payload: Dict[str, Any] = pool.health()
+        if draining:
+            payload["status"] = "draining"
+        payload["started"] = True
+        payload["inflight"] = inflight
+        payload["max_inflight"] = self.config.max_inflight
+        payload["batcher"] = batcher.stats.as_dict()
+        return payload
+
+    def settle(self, timeout: float = 30.0) -> bool:
+        """Wait for in-progress shard respawns to finish (chaos tests
+        and orderly benchmarks); ``True`` when the pool settled."""
+        with self._lock:
+            pool = self._pool
+        return pool.settle(timeout) if pool is not None else True
 
     def __repr__(self) -> str:
         return (

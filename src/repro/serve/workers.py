@@ -1,11 +1,13 @@
-"""Sharded execution: N workers, each holding one compiled engine.
+"""Sharded execution: N supervised workers, each holding one engine.
 
 One :class:`~repro.runtime.InferenceEngine` saturates one core; a
 :class:`ShardedPool` runs ``shards`` of them side by side and dispatches
 each batch to the least-loaded shard (round-robin between ties).  Every
 shard computes the same pure function of its input batch, so results are
 byte-identical regardless of shard count, backend or dispatch order
-(test-enforced).
+(test-enforced) — which is also what makes fault recovery transparent:
+a batch retried on a different shard returns the exact bytes the dead
+shard would have.
 
 Backends
 --------
@@ -23,56 +25,111 @@ Backends
     :class:`~repro.serve.server.Server` first), costs one interpreter
     spawn + import per shard up front, and pays a pickle round trip per
     batch; worth it for CPU-bound double-precision loads.
+
+Supervision
+-----------
+A dead worker (``BrokenProcessPool`` / any ``BrokenExecutor``, or the
+thread-backend :class:`~repro.serve.errors.ShardCrash`) no longer
+poisons the pool.  The shard walks a small state machine::
+
+    ok ──fatal──▶ respawning ──executor rebuilt──▶ recovering
+                      │                                │
+                      │ restarts > max_restarts        │ first good batch
+                      ▼                                ▼
+                 quarantined                           ok
+
+and the failed batch is retried on a healthy shard with a bounded,
+jittered exponential backoff (``max_retries`` attempts beyond the
+first; a request deadline caps the budget early).  Application-level
+errors — bad shapes, :class:`~repro.serve.errors.FaultInjected` —
+propagate to the caller untouched: only worker *death* is retried,
+because only death says nothing about the request itself.
+:meth:`ShardedPool.health` condenses the shard states into the
+``ok`` / ``degraded`` / ``unhealthy`` signal ``/healthz`` serves.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    InvalidStateError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-__all__ = ["ShardedPool", "REQUEST_KINDS"]
+from .errors import DeadlineExceeded, NoHealthyShards, ShardCrash
+from .faults import FaultPlan, ShardFaultState, kill_process
+
+__all__ = ["ShardedPool", "REQUEST_KINDS", "SHARD_STATES"]
 
 #: Engine methods a pool (and the batching frontend above it) can run.
 REQUEST_KINDS = ("logits", "predict", "intensity_map")
 
+#: The supervision state machine (see module docstring).
+SHARD_STATES = ("ok", "respawning", "recovering", "quarantined")
+
 _BACKENDS = ("thread", "process")
+
+#: Exceptions that mean "the worker died", not "the request was bad".
+_FATAL = (BrokenExecutor, ShardCrash)
 
 # ----------------------------------------------------------------------
 # Process-backend worker side: one engine per child process, built once.
 # ----------------------------------------------------------------------
 _WORKER_ENGINE = None
+_WORKER_FAULTS: Optional[ShardFaultState] = None
 
 
-def _init_process_shard(artifact: str, precision: str,
-                        engine_batch: int) -> None:
+def _init_process_shard(artifact: str, precision: str, engine_batch: int,
+                        plan: Optional[FaultPlan], shard_index: int) -> None:
     """Pool initializer: load the artifact and compile the shard engine."""
-    global _WORKER_ENGINE
+    global _WORKER_ENGINE, _WORKER_FAULTS
     from ..utils.serialization import load_model
 
     model = load_model(artifact)
     _WORKER_ENGINE = model.inference_engine(
         precision=precision, max_batch=engine_batch
     )
+    _WORKER_FAULTS = (
+        ShardFaultState(plan.for_shard(shard_index)) if plan else None
+    )
 
 
 def _run_process_shard(kind: str, fields: np.ndarray) -> np.ndarray:
+    if _WORKER_FAULTS is not None:
+        _WORKER_FAULTS.fire(kill_process)
     return getattr(_WORKER_ENGINE, kind)(fields)
 
 
-class _Shard:
-    """One worker (an executor with exactly one slot) + its load count."""
+def _raise_shard_crash() -> None:
+    raise ShardCrash("injected shard kill (thread backend)")
 
-    def __init__(self, index: int, executor, run) -> None:
+
+class _Shard:
+    """One worker (an executor with exactly one slot) + supervision state."""
+
+    def __init__(self, index: int, executor, run,
+                 plan: Optional[FaultPlan]) -> None:
         self.index = index
         self.executor = executor
         self.run = run
+        self.plan = plan  # remaining fault plan (kills are consumed)
+        self.state = "ok"
+        self.restarts = 0
         self.inflight = 0
         self.dispatched = 0
+
+    def available(self) -> bool:
+        return self.state in ("ok", "recovering")
 
 
 class ShardedPool:
@@ -92,6 +149,18 @@ class ShardedPool:
     precision, engine_batch:
         Forwarded to every shard's engine (``engine_batch`` is the
         engine's internal ``max_batch`` chunk size).
+    faults:
+        An optional :class:`~repro.serve.faults.FaultPlan` (chaos
+        testing; see that module).
+    max_retries:
+        How many times one batch may be re-dispatched after a fatal
+        shard failure before the error propagates.
+    max_restarts:
+        How many times one shard may be respawned before it is
+        quarantined (removed from dispatch for the pool's lifetime).
+    backoff_base, backoff_cap:
+        Jittered exponential retry backoff: attempt ``k`` sleeps
+        ``min(cap, base * 2**k)`` scaled by a uniform [0.5, 1) jitter.
     """
 
     def __init__(
@@ -102,6 +171,11 @@ class ShardedPool:
         backend: str = "thread",
         precision: str = "double",
         engine_batch: int = 64,
+        faults: Optional[FaultPlan] = None,
+        max_retries: int = 3,
+        max_restarts: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(
@@ -111,14 +185,26 @@ class ShardedPool:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if model is None and artifact is None:
             raise ValueError("ShardedPool needs a model or an artifact path")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
         self.shards = int(shards)
         self.backend = backend
         self.precision = precision
         self.engine_batch = int(engine_batch)
+        self.max_retries = int(max_retries)
+        self.max_restarts = int(max_restarts)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._jitter = random.Random(0x5EED)
         self._lock = threading.Lock()
+        self._state_changed = threading.Condition(self._lock)
         self._rr = itertools.count()
         self._closed = False
         self._shards: List[_Shard] = []
+        self.failures = 0  # fatal shard failures observed
+        self.retries = 0   # batches re-dispatched after a failure
 
         if backend == "process":
             if artifact is None:
@@ -126,49 +212,99 @@ class ShardedPool:
                     "the process backend loads its engines from disk; pass "
                     "artifact= (Server persists live models automatically)"
                 )
-            for index in range(self.shards):
-                executor = ProcessPoolExecutor(
-                    max_workers=1,
-                    initializer=_init_process_shard,
-                    initargs=(str(artifact), precision, self.engine_batch),
-                )
-                self._shards.append(
-                    _Shard(index, executor, _run_process_shard)
-                )
+            self.artifact = str(artifact)
+            self.model = None
         else:
             if model is None:
                 from ..utils.serialization import load_model
 
                 model = load_model(artifact)
+            self.artifact = str(artifact) if artifact is not None else None
             self.model = model
-            for index in range(self.shards):
-                engine = model.inference_engine(
-                    precision=precision, max_batch=self.engine_batch
-                )
-                executor = ThreadPoolExecutor(
-                    max_workers=1, thread_name_prefix=f"repro-shard-{index}"
-                )
-                self._shards.append(_Shard(
-                    index, executor,
-                    lambda kind, fields, _e=engine:
-                        getattr(_e, kind)(fields),
-                ))
+        for index in range(self.shards):
+            plan = faults if faults else None
+            executor, run = self._build_worker(index, plan)
+            self._shards.append(_Shard(index, executor, run, plan))
+
+    # ------------------------------------------------------------------
+    # Worker construction (initial build and respawn share this)
+    # ------------------------------------------------------------------
+    def _build_worker(self, index: int, plan: Optional[FaultPlan]):
+        if self.backend == "process":
+            executor = ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_init_process_shard,
+                initargs=(self.artifact, self.precision, self.engine_batch,
+                          plan, index),
+            )
+            return executor, _run_process_shard
+        engine = self.model.inference_engine(
+            precision=self.precision, max_batch=self.engine_batch
+        )
+        fault_state = (
+            ShardFaultState(plan.for_shard(index)) if plan else None
+        )
+
+        def run(kind: str, fields: np.ndarray) -> np.ndarray:
+            if fault_state is not None:
+                fault_state.fire(_raise_shard_crash)
+            return getattr(engine, kind)(fields)
+
+        executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-shard-{index}"
+        )
+        return executor, run
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def _pick(self) -> _Shard:
-        """Least-loaded shard; round-robin order breaks ties."""
-        start = next(self._rr) % self.shards
-        best = None
-        for offset in range(self.shards):
-            shard = self._shards[(start + offset) % self.shards]
-            if best is None or shard.inflight < best.inflight:
-                best = shard
-        return best
+    def _acquire(self, deadline: Optional[float]) -> _Shard:
+        """Pick the least-loaded available shard (round-robin between
+        ties), waiting out transient all-shards-respawning windows.
 
-    def submit(self, kind: str, fields) -> Future:
-        """Run ``engine.<kind>(fields)`` on one shard; returns a Future."""
+        Raises :class:`NoHealthyShards` when every shard is quarantined
+        and :class:`DeadlineExceeded` when the wait outlives the
+        request's deadline.  Caller must hold the lock.
+        """
+        while True:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            available = [s for s in self._shards if s.available()]
+            if available:
+                start = next(self._rr) % self.shards
+                best = None
+                for offset in range(self.shards):
+                    shard = self._shards[(start + offset) % self.shards]
+                    if not shard.available():
+                        continue
+                    if best is None or shard.inflight < best.inflight:
+                        best = shard
+                return best
+            if all(s.state == "quarantined" for s in self._shards):
+                raise NoHealthyShards(
+                    f"all {self.shards} shard(s) quarantined after "
+                    f"{self.failures} fatal failure(s); restart the server"
+                )
+            timeout = None
+            if deadline is not None:
+                timeout = deadline - time.monotonic()
+                if timeout <= 0:
+                    raise DeadlineExceeded(
+                        "deadline expired while waiting for a shard respawn"
+                    )
+            self._state_changed.wait(timeout)
+
+    def submit(self, kind: str, fields,
+               deadline: Optional[float] = None) -> Future:
+        """Run ``engine.<kind>(fields)`` on one shard; returns a Future.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant: once
+        it passes, pending retries fail with :class:`DeadlineExceeded`
+        instead of burning more budget.  The returned future resolves
+        with the result of the *first successful attempt* — retried
+        batches are byte-identical because every shard computes the
+        same pure function.
+        """
         if kind not in REQUEST_KINDS:
             raise ValueError(
                 f"unknown request kind {kind!r}; expected one of "
@@ -177,17 +313,150 @@ class ShardedPool:
         with self._lock:
             if self._closed:
                 raise RuntimeError("pool is closed")
-            shard = self._pick()
-            shard.inflight += 1
-            shard.dispatched += 1
-            future = shard.executor.submit(shard.run, kind, fields)
+        outer: Future = Future()
+        self._attempt(kind, np.asarray(fields), outer, 0, deadline)
+        return outer
 
-        def _done(_f, _shard=shard):
+    def _attempt(self, kind: str, fields: np.ndarray, outer: Future,
+                 attempt: int, deadline: Optional[float]) -> None:
+        try:
             with self._lock:
-                _shard.inflight -= 1
+                shard = self._acquire(deadline)
+                shard.inflight += 1
+                shard.dispatched += 1
+                executor, run = shard.executor, shard.run
+        except BaseException as exc:  # noqa: BLE001 — forwarded
+            self._resolve(outer, exc=exc)
+            return
+        try:
+            inner = executor.submit(run, kind, fields)
+        except BaseException as exc:  # noqa: BLE001 — supervised below
+            with self._lock:
+                shard.inflight -= 1
+            # A broken/shut-down executor rejects at submit time (the
+            # shard died between _acquire and here); that is the same
+            # fatal signal as a mid-batch death.
+            if isinstance(exc, _FATAL) or isinstance(exc, RuntimeError):
+                self._on_fatal(shard, executor, exc, kind, fields, outer,
+                               attempt, deadline)
+            else:
+                self._resolve(outer, exc=exc)
+            return
 
-        future.add_done_callback(_done)
-        return future
+        def _done(done: Future, _shard=shard, _executor=executor) -> None:
+            exc = done.exception()
+            with self._state_changed:
+                _shard.inflight -= 1
+                if exc is None and _shard.state == "recovering" \
+                        and _shard.executor is _executor:
+                    _shard.state = "ok"
+                    self._state_changed.notify_all()
+            if exc is None:
+                self._resolve(outer, result=done.result())
+            elif isinstance(exc, _FATAL):
+                self._on_fatal(_shard, _executor, exc, kind, fields, outer,
+                               attempt, deadline)
+            else:
+                self._resolve(outer, exc=exc)
+
+        inner.add_done_callback(_done)
+
+    @staticmethod
+    def _resolve(outer: Future, result=None, exc=None) -> None:
+        # The caller may have cancelled/abandoned the outer future; a
+        # late resolution must not blow up the supervisor.
+        try:
+            if exc is not None:
+                outer.set_exception(exc)
+            else:
+                outer.set_result(result)
+        except InvalidStateError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Supervision: respawn + retry
+    # ------------------------------------------------------------------
+    def _on_fatal(self, shard: _Shard, executor, exc: BaseException,
+                  kind: str, fields: np.ndarray, outer: Future,
+                  attempt: int, deadline: Optional[float]) -> None:
+        with self._state_changed:
+            self.failures += 1
+            if shard.available() and shard.executor is executor:
+                # First detector of this death owns the respawn; every
+                # other in-flight batch on the broken executor only
+                # retries (including stragglers that were queued on an
+                # executor the supervisor has already replaced — their
+                # death is the *old* incarnation's, not a new one).
+                shard.state = "respawning"
+                shard.restarts += 1
+                self._state_changed.notify_all()
+                threading.Thread(
+                    target=self._respawn, args=(shard,),
+                    name=f"repro-shard-{shard.index}-respawn", daemon=True,
+                ).start()
+            if attempt >= self.max_retries:
+                retry = False
+            else:
+                retry = True
+                self.retries += 1
+        if not retry:
+            self._resolve(outer, exc=exc)
+            return
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        delay *= 0.5 + self._jitter.random() / 2
+        if deadline is not None and time.monotonic() + delay > deadline:
+            self._resolve(outer, exc=DeadlineExceeded(
+                f"deadline expired before retry {attempt + 1} "
+                f"(shard failure: {exc})"
+            ))
+            return
+        timer = threading.Timer(
+            delay, self._attempt, args=(kind, fields, outer, attempt + 1,
+                                        deadline),
+        )
+        timer.daemon = True
+        timer.start()
+
+    def _respawn(self, shard: _Shard) -> None:
+        """Replace a dead shard's executor (supervisor thread)."""
+        shard.executor.shutdown(wait=False)
+        with self._state_changed:
+            quarantine = shard.restarts > self.max_restarts or self._closed
+            if quarantine:
+                shard.state = "quarantined"
+                self._state_changed.notify_all()
+                return
+            # One configured kill dies exactly once: the respawned
+            # worker gets the plan minus the kill that just fired.
+            plan = shard.plan.without_kill(shard.index) if shard.plan \
+                else None
+            shard.plan = plan
+        executor, run = self._build_worker(shard.index, plan)
+        with self._state_changed:
+            if self._closed:
+                executor.shutdown(wait=False)
+                shard.state = "quarantined"
+            else:
+                shard.executor = executor
+                shard.run = run
+                shard.state = "recovering"
+            self._state_changed.notify_all()
+
+    def settle(self, timeout: float = 30.0) -> bool:
+        """Block until no shard is mid-respawn (or ``timeout`` passes).
+
+        ``recovering`` counts as settled — a recovered shard only flips
+        to ``ok`` once traffic reaches it.  Returns ``True`` when
+        settled.
+        """
+        end = time.monotonic() + timeout
+        with self._state_changed:
+            while any(s.state == "respawning" for s in self._shards):
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._state_changed.wait(remaining)
+            return True
 
     def run(self, kind: str, fields) -> np.ndarray:
         """Synchronous :meth:`submit`."""
@@ -198,13 +467,12 @@ class ShardedPool:
 
         Forces process spawn + artifact load + first-call buffer
         allocation up front so the first real request (or a benchmark)
-        does not pay for it.
+        does not pay for it.  Warm-up batches are supervised like any
+        other (and count toward fault-plan batch indices).
         """
         futures = [
-            shard.executor.submit(
-                shard.run, "predict", np.zeros((1, 8, 8), dtype=np.float64)
-            )
-            for shard in self._shards
+            self.submit("predict", np.zeros((1, 8, 8), dtype=np.float64))
+            for _ in self._shards
         ]
         for future in futures:
             future.result()
@@ -213,19 +481,56 @@ class ShardedPool:
     # Introspection / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "shards": self.shards,
+                "backend": self.backend,
+                "precision": self.precision,
+                "dispatched": [shard.dispatched for shard in self._shards],
+                "inflight": [shard.inflight for shard in self._shards],
+                "states": [shard.state for shard in self._shards],
+                "restarts": [shard.restarts for shard in self._shards],
+                "failures": self.failures,
+                "retries": self.retries,
+            }
+
+    def health(self) -> Dict[str, object]:
+        """The routing signal: ``ok`` (every shard healthy),
+        ``degraded`` (at least one shard down or catching up, traffic
+        still served) or ``unhealthy`` (every shard quarantined)."""
+        with self._lock:
+            shards = [
+                {
+                    "index": shard.index,
+                    "state": shard.state,
+                    "restarts": shard.restarts,
+                    "dispatched": shard.dispatched,
+                    "inflight": shard.inflight,
+                }
+                for shard in self._shards
+            ]
+            failures, retries = self.failures, self.retries
+        states = [entry["state"] for entry in shards]
+        if all(state == "quarantined" for state in states):
+            status = "unhealthy"
+        elif all(state == "ok" for state in states):
+            status = "ok"
+        else:
+            status = "degraded"
         return {
-            "shards": self.shards,
-            "backend": self.backend,
-            "precision": self.precision,
-            "dispatched": [shard.dispatched for shard in self._shards],
-            "inflight": [shard.inflight for shard in self._shards],
+            "status": status,
+            "shards": shards,
+            "restarts": sum(entry["restarts"] for entry in shards),
+            "failures": failures,
+            "retries": retries,
         }
 
     def close(self) -> None:
-        with self._lock:
+        with self._state_changed:
             if self._closed:
                 return
             self._closed = True
+            self._state_changed.notify_all()
         for shard in self._shards:
             shard.executor.shutdown(wait=True)
 

@@ -154,6 +154,45 @@ class TestLoadRunsAndTables:
         with pytest.raises(FileNotFoundError, match="no runs directory"):
             load_runs(tmp_path / "missing")
 
+    def test_load_runs_skips_corrupt_run_with_warning(self, baseline_run,
+                                                      tmp_path):
+        # One truncated manifest must not hold the healthy runs hostage.
+        cfg, result = baseline_run
+        save_run(result, cfg, tmp_path, name="good")
+        bad = save_run(result, cfg, tmp_path, name="bad")
+        (bad / RUN_FILE).write_text('{"format": "repro-run", "vers')
+        with pytest.warns(RuntimeWarning, match="skipping corrupt"):
+            runs = load_runs(tmp_path)
+        assert [run.path.name for run in runs] == ["good"]
+
+    def test_load_runs_all_corrupt_rejected(self, baseline_run, tmp_path):
+        cfg, result = baseline_run
+        run_dir = save_run(result, cfg, tmp_path, name="only")
+        (run_dir / RUN_FILE).write_text("not json at all")
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(FileNotFoundError, match="corrupt"):
+                load_runs(tmp_path)
+
+    def test_save_run_leaves_no_temp_files(self, baseline_run, tmp_path):
+        # The atomic-rename protocol must not strand its temp names.
+        cfg, result = baseline_run
+        run_dir = save_run(result, cfg, tmp_path)
+        assert sorted(p.name for p in run_dir.iterdir()) == \
+            sorted([RUN_FILE, MODEL_FILE])
+
+    def test_manifestless_dir_invisible_to_load_runs(self, baseline_run,
+                                                     tmp_path):
+        # A crash between the model rename and the manifest rename
+        # leaves a directory without run.json — exactly what a partial
+        # save looks like, and load_runs must not trip over it.
+        cfg, result = baseline_run
+        save_run(result, cfg, tmp_path, name="complete")
+        partial = tmp_path / "partial"
+        partial.mkdir()
+        (partial / MODEL_FILE).write_bytes(b"\x00" * 16)
+        runs = load_runs(tmp_path)
+        assert [run.path.name for run in runs] == ["complete"]
+
     def test_table_from_runs_rejects_mixed_families(self, baseline_run,
                                                     tmp_path):
         cfg, result = baseline_run

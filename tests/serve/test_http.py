@@ -50,7 +50,9 @@ class TestEndpoints:
         status, payload = get(url, "/healthz")
         assert status == 200
         assert payload["status"] == "ok"
-        assert "batcher" in payload and "pool" in payload
+        assert "batcher" in payload and "shards" in payload
+        assert [shard["state"] for shard in payload["shards"]] == ["ok"]
+        assert payload["restarts"] == 0
 
     def test_model_info(self, served, model):
         _, url = served
