@@ -8,14 +8,17 @@ the ``repro.serve`` load generator directly (throughput benches are not
 repeated-timing micro-benchmarks) and writes ``BENCH_serving.json``; times
 the FFT backend dispatch layer directly (numpy vs scipy at workers=1/N
 kernel FFTs, double vs single fused train steps) and writes
-``BENCH_backend.json``::
+``BENCH_backend.json``; times the fault-tolerant sweep orchestrator
+(serial vs supervised-parallel vs kill-and-recover, with a byte-identity
+acceptance gate) and writes ``BENCH_sweep.json``::
 
     python benchmarks/run_benchmarks.py
-        [--only kernels|training|serving|backend]
+        [--only kernels|training|serving|backend|sweep]
         [--kernels-output BENCH_kernels.json]
         [--training-output BENCH_training.json]
         [--serving-output BENCH_serving.json]
         [--backend-output BENCH_backend.json]
+        [--sweep-output BENCH_sweep.json]
 
 Each snapshot maps case names to timings plus a ``summary`` block of
 speedup ratios — engine-vs-autodiff inference for the kernel snapshot,
@@ -349,11 +352,99 @@ def run_backend_bench(output: str, quick: bool = False) -> int:
     return 0
 
 
+def run_sweep_bench(output: str, quick: bool = False) -> int:
+    """Time the fault-tolerant sweep orchestrator; write ``BENCH_sweep.json``.
+
+    Three sweeps of the same tiny 2-point grid (laptop n=20, 3 epochs):
+
+    * **serial** — the max_workers=1 baseline;
+    * **parallel** — max_workers=2 through the supervised pool;
+    * **kill_recovery** — max_workers=2 with an injected worker SIGKILL
+      at the end of epoch 1 of point 0 (checkpoint on disk), so the cost
+      measured is detect + respawn + resume-from-checkpoint.
+
+    The acceptance gate is correctness, not speed: all three sweeps must
+    produce byte-identical final tables, or the snapshot exits nonzero —
+    this is the fault-tolerance invariant CI leans on.
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    import shutil
+    import time
+
+    from repro.pipeline.sweep import format_sweep, parse_faults, run_sweep_dir
+
+    spec = {
+        "base": "laptop", "family": "digits", "n": 20, "seed": 0,
+        "recipe": "ours_a",
+        "set": {"n_train": 60, "n_test": 30, "batch_size": 30,
+                "baseline_epochs": 1 if quick else 3,
+                "twopi.iterations": 10},
+        "grid": {"roughness_p": [0.1, 0.5]},
+    }
+
+    scenarios = [
+        ("serial", {"max_workers": 1}, None),
+        ("parallel", {"max_workers": 2}, None),
+        ("kill_recovery", {"max_workers": 2},
+         None if quick else parse_faults("kill:point=0,epoch=1")),
+    ]
+    cases = {}
+    tables = {}
+    root = tempfile.mkdtemp(prefix="bench-sweep-")
+    try:
+        for label, kwargs, faults in scenarios:
+            sweep_dir = os.path.join(root, label)
+            start = time.perf_counter()
+            summary = run_sweep_dir(sweep_dir, spec=spec, faults=faults,
+                                    **kwargs)
+            elapsed = time.perf_counter() - start
+            if not summary.ok:
+                print(f"ACCEPTANCE FAILED: sweep scenario {label!r} did "
+                      f"not complete: {summary.failures}", file=sys.stderr)
+                return 1
+            cases[f"sweep_{label}"] = {
+                "mean_s": elapsed, "min_s": elapsed, "stddev_s": 0.0,
+                "rounds": 1,
+            }
+            tables[label] = format_sweep(sweep_dir)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    byte_identical = (tables["serial"] == tables["parallel"]
+                      == tables["kill_recovery"])
+    summary_block = {
+        "parallel_vs_serial": round(
+            cases["sweep_serial"]["mean_s"]
+            / cases["sweep_parallel"]["mean_s"], 3),
+        "kill_recovery_overhead_vs_parallel": round(
+            cases["sweep_kill_recovery"]["mean_s"]
+            / cases["sweep_parallel"]["mean_s"], 3),
+        "byte_identical": byte_identical,
+    }
+    snapshot = {
+        "machine_info": {"cpu_count": os.cpu_count()},
+        "cases": cases,
+        "summary": summary_block,
+    }
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(cases)} cases to {output}")
+    for label, value in sorted(summary_block.items()):
+        print(f"  {label}: {value}")
+    if not byte_identical:
+        print("ACCEPTANCE FAILED: sweep results are not byte-identical "
+              "across serial / parallel / kill-recovery runs",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
         "--only",
-        choices=("kernels", "training", "serving", "backend"),
+        choices=("kernels", "training", "serving", "backend", "sweep"),
         default=None,
         help="snapshot just one bench group (default: all)",
     )
@@ -387,6 +478,16 @@ def main() -> int:
         help="single-round backend bench for CI plumbing checks "
              "(numbers written but not meaningful; acceptance gate off)",
     )
+    parser.add_argument(
+        "--sweep-output",
+        default=os.path.join(REPO_ROOT, "benchmarks", "BENCH_sweep.json"),
+        help="where to write the sweep-orchestrator snapshot",
+    )
+    parser.add_argument(
+        "--sweep-quick", action="store_true",
+        help="1-epoch sweep bench without fault injection for CI "
+             "plumbing checks (byte-identity gate still on)",
+    )
     args, pytest_args = parser.parse_known_args()
 
     status = 0
@@ -407,6 +508,10 @@ def main() -> int:
     if args.only in (None, "backend"):
         status = run_backend_bench(
             args.backend_output, quick=args.backend_quick
+        ) or status
+    if args.only in (None, "sweep"):
+        status = run_sweep_bench(
+            args.sweep_output, quick=args.sweep_quick
         ) or status
     return status
 

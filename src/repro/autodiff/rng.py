@@ -12,7 +12,8 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["seed_all", "get_rng", "spawn_rng", "rand", "randn", "gumbel"]
+__all__ = ["seed_all", "get_rng", "spawn_rng", "rand", "randn", "gumbel",
+           "get_state", "set_state"]
 
 _DEFAULT_SEED = 0
 _rng = np.random.default_rng(_DEFAULT_SEED)
@@ -22,6 +23,21 @@ def seed_all(seed: int) -> None:
     """Re-seed the package-wide generator (affects all default streams)."""
     global _rng
     _rng = np.random.default_rng(seed)
+
+
+def get_state() -> dict:
+    """Snapshot the package-wide generator's state (JSON-serializable).
+
+    Together with :func:`set_state` this is what lets training
+    checkpoints round-trip the global stream exactly: a resumed run
+    draws the same numbers an uninterrupted one would have.
+    """
+    return _rng.bit_generator.state
+
+
+def set_state(state: dict) -> None:
+    """Restore a state captured by :func:`get_state`."""
+    _rng.bit_generator.state = state
 
 
 def get_rng(rng: Optional[np.random.Generator] = None) -> np.random.Generator:

@@ -4,8 +4,12 @@ Commands
 --------
 * ``run``         — run any registered recipe or a JSON/TOML experiment
   file; writes a self-describing run directory (``docs/experiments.md``);
+  with ``--name`` the run streams ``events.jsonl``, checkpoints every
+  epoch, survives Ctrl-C/SIGKILL and resumes with ``--resume``;
+* ``sweep``       — run a grid/random sweep spec into a resumable sweep
+  directory (supervised parallel workers, crash retry, ``--resume``);
 * ``report``      — re-render paper-style tables from stored run
-  directories, no recompute;
+  directories, no recompute (``--strict`` hard-fails on corrupt runs);
 * ``quickstart``  — train a small DONN and print accuracy/roughness;
 * ``recipe``      — run one of the paper's recipes (baseline, ours_a..d);
 * ``table``       — reproduce a full paper table (five recipes);
@@ -112,6 +116,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_p.add_argument("--verbose", action="store_true",
                        help="per-epoch training progress")
+    run_p.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted run (needs --name): training "
+             "resumes from the run directory's latest checkpoint and "
+             "the final result is byte-identical to an uninterrupted run",
+    )
+    run_p.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="training checkpoint cadence in epochs (default: 1; only "
+             "applies with --name, which fixes the run directory "
+             "up front)",
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a grid/random sweep spec into a resumable sweep "
+             "directory (see docs/experiments.md)",
+    )
+    sweep_p.add_argument(
+        "spec", nargs="?", default=None,
+        help="a JSON/TOML sweep spec (experiment-file schema plus a "
+             "'grid' or 'random' section); omit with --resume",
+    )
+    sweep_p.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="sweep directory to create (default: sweeps/<spec stem>)",
+    )
+    sweep_p.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume an existing sweep directory: completed points are "
+             "skipped, half-trained ones continue from their "
+             "checkpoints, failed ones re-run",
+    )
+    sweep_p.add_argument(
+        "--max-workers", type=int, default=1,
+        help="supervised worker processes (default: 1, in-process); "
+             "crashes are retried with backoff and recorded as "
+             "structured failures when retries run out",
+    )
+    sweep_p.add_argument(
+        "--max-retries", type=int, default=2,
+        help="crash retries per point before it is recorded as failed "
+             "(default: 2)",
+    )
+    sweep_p.add_argument(
+        "--timeout-s", type=float, default=None, metavar="S",
+        help="per-point wall-clock budget; a worker over it is killed "
+             "and the point retried (default: none)",
+    )
+    sweep_p.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="training checkpoint cadence in epochs (default: 1)",
+    )
+    sweep_p.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="chaos testing: one-shot point faults, e.g. "
+             "'kill:point=0,epoch=1;hang:point=2' (kinds: kill, hang, "
+             "diverge)",
+    )
+    sweep_p.add_argument("--verbose", action="store_true",
+                         help="per-epoch training progress (serial path)")
 
     report = sub.add_parser(
         "report",
@@ -120,6 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("runs_dir", metavar="RUNS_DIR",
                         help="a runs root (or a single run directory)")
+    report.add_argument(
+        "--strict", action="store_true",
+        help="treat a corrupt run directory as a hard error instead of "
+             "skipping it with a warning (CI gates)",
+    )
 
     quick = sub.add_parser("quickstart", help="train a small DONN")
     add_scale_args(quick)
@@ -258,7 +328,10 @@ def _cmd_run(args) -> int:
         parse_override_items,
         save_run,
     )
+    from .pipeline.events import EVENTS_FILE, EventLog
     from .pipeline.experiment_io import EXPERIMENT_FILE_SUFFIXES
+    from .pipeline.runs import RUN_FILE
+    from .utils import InterruptRequested, graceful_sigint
 
     target = Path(args.target)
     try:
@@ -287,25 +360,113 @@ def _cmd_run(args) -> int:
             recipe_name, config = args.target, _config(args)
         get_recipe(recipe_name)  # fail fast with the registered names
         config = apply_overrides(config, overrides)
+        if args.checkpoint_every < 1:
+            print("--checkpoint-every must be >= 1", file=sys.stderr)
+            return 2
+        if args.resume and not args.name:
+            print("--resume needs --name (it fixes the run directory "
+                  "the checkpoints live in)", file=sys.stderr)
+            return 2
         if args.name:
             # Validate the destination *before* spending the training
             # compute: a collision after run_recipe would discard the
             # finished result.
             run_dir = Path(args.runs_dir) / args.name
             if run_dir.exists() and any(run_dir.iterdir()):
-                print(f"run directory {run_dir} already exists and is "
-                      "not empty; pick another --name", file=sys.stderr)
-                return 2
+                if (run_dir / RUN_FILE).exists():
+                    print(f"run directory {run_dir} already exists and "
+                          "holds a completed run; pick another --name",
+                          file=sys.stderr)
+                    return 2
+                if not args.resume:
+                    print(f"run directory {run_dir} already exists and "
+                          "is not empty; pick another --name, or pass "
+                          "--resume to continue an interrupted run",
+                          file=sys.stderr)
+                    return 2
     except (ValueError, FileNotFoundError) as exc:
         print(exc, file=sys.stderr)
         return 2
-    result = run_recipe(recipe_name, config, verbose=args.verbose)
-    run_dir = save_run(result, config, args.runs_dir, name=args.name)
+    # With --name the run directory is known up front, so the run gets
+    # the full fault-tolerance kit: a live events.jsonl stream and
+    # per-epoch crash-safe checkpoints (--resume picks them up).
+    events = EventLog.null()
+    checkpoint_dir = None
+    if args.name:
+        run_dir = Path(args.runs_dir) / args.name
+        run_dir.mkdir(parents=True, exist_ok=True)
+        events = EventLog(run_dir / EVENTS_FILE)
+        checkpoint_dir = run_dir / "checkpoints"
+    try:
+        with events, graceful_sigint():
+            result = run_recipe(
+                recipe_name, config, verbose=args.verbose, events=events,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+            )
+    except InterruptRequested as exc:
+        print(f"\ninterrupted ({exc}); the latest checkpoint is saved — "
+              "resume with the same command plus --resume",
+              file=sys.stderr)
+        return 130
+    run_dir = save_run(result, config, args.runs_dir, name=args.name,
+                       in_progress_ok=bool(args.name))
+    if checkpoint_dir is not None:
+        import shutil
+
+        shutil.rmtree(checkpoint_dir, ignore_errors=True)
     print(_recipe_summary(result))
     for record in result.stages:
         print(f"  stage {record.name:<13} {record.wall_time:8.2f}s")
     print(f"run directory: {run_dir}")
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .pipeline import sweep as sweep_mod
+    from .utils import graceful_sigint
+
+    try:
+        faults = sweep_mod.parse_faults(args.faults)
+        if args.resume:
+            if args.spec is not None:
+                print("pass either a spec file (fresh sweep) or "
+                      "--resume DIR, not both", file=sys.stderr)
+                return 2
+            sweep_dir, spec = Path(args.resume), None
+        else:
+            if args.spec is None:
+                print("sweep needs a spec file (fresh sweep) or "
+                      "--resume DIR", file=sys.stderr)
+                return 2
+            spec = sweep_mod.load_sweep_spec(args.spec)
+            sweep_dir = (Path(args.out) if args.out
+                         else Path("sweeps") / Path(args.spec).stem)
+        with graceful_sigint():
+            summary = sweep_mod.run_sweep_dir(
+                sweep_dir, spec,
+                resume=args.resume is not None,
+                max_workers=args.max_workers,
+                max_retries=args.max_retries,
+                timeout_s=args.timeout_s,
+                checkpoint_every=args.checkpoint_every,
+                faults=faults,
+                verbose=args.verbose,
+                echo=print,
+            )
+    except (ValueError, FileNotFoundError, FileExistsError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(sweep_mod.format_sweep(sweep_dir))
+    print()
+    print(f"sweep {sweep_dir}: {summary.completed} completed, "
+          f"{summary.skipped} skipped, {summary.failed} failed, "
+          f"{summary.pending} pending")
+    if summary.interrupted:
+        print(f"interrupted; continue with: repro sweep --resume "
+              f"{sweep_dir}", file=sys.stderr)
+        return 130
+    return 1 if summary.failed else 0
 
 
 def _cmd_report(args) -> int:
@@ -314,7 +475,7 @@ def _cmd_report(args) -> int:
     from .pipeline import load_runs, table_from_runs
 
     try:
-        runs = load_runs(args.runs_dir)
+        runs = load_runs(args.runs_dir, strict=args.strict)
     except (FileNotFoundError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -534,6 +695,7 @@ def _cmd_bench_serve(args) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "sweep": _cmd_sweep,
     "report": _cmd_report,
     "quickstart": _cmd_quickstart,
     "recipe": _cmd_recipe,

@@ -56,6 +56,19 @@ class DataLoader:
         self.drop_last = bool(drop_last)
         self._rng = np.random.default_rng(seed)
 
+    def state_dict(self) -> dict:
+        """Snapshot the private shuffle stream (JSON-serializable).
+
+        The loader advances its stream once per epoch; checkpoints store
+        this state so a resumed fit sees the exact batch order an
+        uninterrupted one would have (byte-identical histories).
+        """
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a shuffle stream captured by :meth:`state_dict`."""
+        self._rng.bit_generator.state = state["rng"]
+
     def __len__(self) -> int:
         """Number of batches per epoch."""
         n = len(self.dataset)

@@ -16,7 +16,13 @@ from .evaluation import (
 )
 from .layers import DiffractiveLayer
 from .model import DONN, DONNConfig
-from .training import Trainer, TrainingHistory
+from .training import (
+    Trainer,
+    TrainingDiverged,
+    TrainingHistory,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 __all__ = [
     "DetectorLayout",
@@ -28,6 +34,9 @@ __all__ = [
     "DONNConfig",
     "Trainer",
     "TrainingHistory",
+    "TrainingDiverged",
+    "save_checkpoint",
+    "load_checkpoint",
     "accuracy",
     "confusion_matrix",
     "deployed_accuracy",

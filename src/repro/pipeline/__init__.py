@@ -14,6 +14,9 @@
 * :func:`run_sweep` — the Fig. 6 hyperparameter explorations;
 * :func:`save_run` / :func:`load_runs` / :func:`table_from_runs` —
   self-describing run directories, re-renderable without recompute;
+* :mod:`~repro.pipeline.sweep` — resumable grid/random sweeps
+  (``repro sweep``): supervised parallel driver, per-point event logs,
+  crash-safe checkpoints and ``--resume``;
 * :data:`PAPER_TABLES` — the published numbers for comparison.
 """
 
@@ -23,11 +26,13 @@ from .ablations import (
     neighborhood_ablation,
 )
 from .config import PAPER_BLOCK_SIZES, PAPER_EPOCHS, ExperimentConfig
+from .events import EVENTS_FILE, EventLog, read_events
 from .experiment_io import (
     ExperimentSpec,
     apply_overrides,
     load_experiment,
     parse_override_items,
+    resolve_base_config,
 )
 from .recipes import (
     RECIPE_LABELS,
@@ -45,13 +50,31 @@ from .registry import (
     register_recipe,
     unregister_recipe,
 )
-from .runner import PAPER_TABLES, TableResult, run_sweep, run_table
+from .runner import (
+    PAPER_TABLES,
+    PointFailure,
+    PointOutcome,
+    SupervisedPool,
+    TableResult,
+    run_sweep,
+    run_table,
+)
 from .runs import (
     RunResult,
     load_run,
     load_runs,
     save_run,
     table_from_runs,
+)
+from .sweep import (
+    SWEEP_FILE,
+    SweepPoint,
+    SweepSummary,
+    expand_points,
+    format_sweep,
+    load_sweep_spec,
+    parse_faults,
+    run_sweep_dir,
 )
 from .stages import (
     NoiseInjectStage,
@@ -110,4 +133,20 @@ __all__ = [
     "load_run",
     "load_runs",
     "table_from_runs",
+    "resolve_base_config",
+    # Observability & fault-tolerant orchestration
+    "EVENTS_FILE",
+    "EventLog",
+    "read_events",
+    "PointFailure",
+    "PointOutcome",
+    "SupervisedPool",
+    "SWEEP_FILE",
+    "SweepPoint",
+    "SweepSummary",
+    "load_sweep_spec",
+    "expand_points",
+    "parse_faults",
+    "run_sweep_dir",
+    "format_sweep",
 ]

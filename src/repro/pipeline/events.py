@@ -1,0 +1,121 @@
+"""Streamed per-run event logs: ``events.jsonl`` in every run directory.
+
+Each line is one JSON object with at least ``ts`` (unix seconds) and
+``event``; the orchestration layer emits ``run_begin`` / ``stage_begin``
+/ ``stage_end`` / ``epoch`` / ``checkpoint`` / ``run_end`` from inside a
+run, and the sweep driver appends ``point_retry`` / ``point_failed``
+attribution events between attempts.  The file is append-only and
+flushed per line, so a SIGKILL at any instant loses at most the line
+being written — :func:`read_events` skips a torn tail, and
+:class:`EventLog` heals a missing trailing newline before appending, so
+a resumed attempt continues the same log.
+
+This is the observability stream ROADMAP item 4 asks for (the
+tensorboardX pattern from graph_invnet's ``BaseInvNet``, minus the
+dependency): ``tail -f <run>/events.jsonl`` is the live dashboard.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["EVENTS_FILE", "EventLog", "read_events"]
+
+#: File name of the per-run event stream inside a run directory.
+EVENTS_FILE = "events.jsonl"
+
+
+class EventLog:
+    """Append-only JSON-lines event sink (one per run directory).
+
+    Opens in append mode so successive attempts of the same point share
+    one file; each :meth:`emit` writes a single line and flushes it.
+    Use as a context manager or call :meth:`close` explicitly.  A
+    ``None``-path log (:meth:`EventLog.null`) swallows events so call
+    sites need no conditionals.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]]) -> None:
+        self.path = Path(path) if path is not None else None
+        self._fh = None
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Heal a torn tail line (a previous attempt was SIGKILLed mid-
+        # write): start our first event on a fresh line so one torn
+        # record cannot corrupt the next one.
+        needs_newline = False
+        if self.path.exists() and self.path.stat().st_size > 0:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, 2)
+                needs_newline = fh.read(1) != b"\n"
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if needs_newline:
+            self._fh.write("\n")
+            self._fh.flush()
+
+    @classmethod
+    def null(cls) -> "EventLog":
+        """An event log that drops everything (no file)."""
+        return cls(None)
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event line (no-op after close / for null logs)."""
+        if self._fh is None:
+            return
+        record = {"ts": round(time.time(), 3), "event": event, **fields}
+        self._fh.write(json.dumps(record, sort_keys=True,
+                                  default=_json_default) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"EventLog({str(self.path)!r})"
+
+
+def _json_default(value: Any) -> Any:
+    """Best-effort serialization: numpy scalars -> python, rest -> str
+    (an unloggable metric must not kill the run emitting it)."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return str(value)
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read an ``events.jsonl`` stream, skipping torn/corrupt lines.
+
+    A run killed mid-write leaves a truncated final line; that (and any
+    other garbled line) is dropped rather than raising, because the
+    event log is observability, not ground truth — ``run.json`` is the
+    completeness marker.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                events.append(record)
+    return events

@@ -42,6 +42,7 @@ from .config import NESTED_CONFIGS, ExperimentConfig
 __all__ = [
     "ExperimentSpec",
     "load_experiment",
+    "resolve_base_config",
     "apply_overrides",
     "parse_override_items",
     "EXPERIMENT_FILE_SUFFIXES",
@@ -185,25 +186,22 @@ def _parse_file(path: Path) -> Dict[str, Any]:
     return data
 
 
-def load_experiment(path: Union[str, Path]) -> ExperimentSpec:
-    """Load an experiment file (see the module docstring for the schema).
+def resolve_base_config(data: Mapping[str, Any],
+                        source: Any = "experiment") -> ExperimentConfig:
+    """Resolve the shared config portion of an experiment-style mapping:
+    ``config`` *or* ``base``/``family``/``n``/``seed``, plus dotted
+    ``set`` overrides (see the module docstring).
 
-    Returns an :class:`ExperimentSpec`; ``spec.recipe`` is ``None`` when
-    the file does not pin a recipe (the caller must supply one).
+    Extra keys in ``data`` are ignored here — callers validate their own
+    schema on top (:func:`load_experiment` for experiment files, the
+    sweep spec loader for ``grid``/``random`` sweeps).  ``source`` only
+    labels error messages.
     """
-    path = Path(path)
-    data = _parse_file(path)
-    unknown = sorted(set(data) - _TOP_LEVEL_KEYS)
-    if unknown:
-        raise ValueError(
-            f"{path}: unknown experiment key(s) {', '.join(unknown)} "
-            f"(expected {', '.join(sorted(_TOP_LEVEL_KEYS))})"
-        )
     if "config" in data:
         for key in ("base", "family", "n"):
             if key in data:
                 raise ValueError(
-                    f"{path}: 'config' and '{key}' are mutually "
+                    f"{source}: 'config' and '{key}' are mutually "
                     "exclusive (a full config already fixes the scale)"
                 )
         config = ExperimentConfig.from_dict(data["config"])
@@ -220,14 +218,14 @@ def load_experiment(path: Union[str, Path]) -> ExperimentSpec:
         base = data.get("base", "laptop")
         if base not in _BASES:
             raise ValueError(
-                f"{path}: unknown base {base!r}; expected one of {_BASES}"
+                f"{source}: unknown base {base!r}; expected one of {_BASES}"
             )
         family = data.get("family", "digits")
         seed = int(data.get("seed", 0))
         if base == "paper":
             if "n" in data:
                 raise ValueError(
-                    f"{path}: 'n' only applies to base 'laptop' "
+                    f"{source}: 'n' only applies to base 'laptop' "
                     "(the paper scale is fixed at 200)"
                 )
             config = ExperimentConfig.paper_scale(family, seed=seed)
@@ -236,9 +234,26 @@ def load_experiment(path: Union[str, Path]) -> ExperimentSpec:
                                              seed=seed)
     overrides = data.get("set", {})
     if not isinstance(overrides, Mapping):
-        raise ValueError(f"{path}: 'set' must be a mapping of dotted "
+        raise ValueError(f"{source}: 'set' must be a mapping of dotted "
                          "keys to values")
-    config = apply_overrides(config, overrides)
+    return apply_overrides(config, overrides)
+
+
+def load_experiment(path: Union[str, Path]) -> ExperimentSpec:
+    """Load an experiment file (see the module docstring for the schema).
+
+    Returns an :class:`ExperimentSpec`; ``spec.recipe`` is ``None`` when
+    the file does not pin a recipe (the caller must supply one).
+    """
+    path = Path(path)
+    data = _parse_file(path)
+    unknown = sorted(set(data) - _TOP_LEVEL_KEYS)
+    if unknown:
+        raise ValueError(
+            f"{path}: unknown experiment key(s) {', '.join(unknown)} "
+            f"(expected {', '.join(sorted(_TOP_LEVEL_KEYS))})"
+        )
+    config = resolve_base_config(data, source=path)
     recipe = data.get("recipe")
     if recipe is not None and not isinstance(recipe, str):
         raise ValueError(f"{path}: 'recipe' must be a string")

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -30,6 +31,7 @@ from ..data import DataLoader, Dataset, make_dataset
 from ..donn import DONN
 from ..twopi import TwoPiSolution
 from .config import ExperimentConfig
+from .events import EventLog
 from .registry import (
     RECIPE_LABELS,
     get_recipe,
@@ -101,6 +103,9 @@ def run_recipe(
     config: ExperimentConfig,
     data: Optional[Tuple[Dataset, Dataset]] = None,
     verbose: bool = False,
+    events: Optional[EventLog] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 1,
 ) -> RecipeResult:
     """Run one registered recipe end to end and score it.
 
@@ -115,6 +120,16 @@ def run_recipe(
     data:
         Optional pre-generated ``(train, test)`` pair so all recipes of a
         table share identical data.
+    events:
+        Optional :class:`~repro.pipeline.events.EventLog` receiving the
+        run's observability stream (stage/epoch events).
+    checkpoint_dir:
+        When set, training stages write crash-safe checkpoints here and
+        resume from them, so a killed run restarted with the same
+        arguments fast-forwards instead of recomputing — and still
+        produces byte-identical results.
+    checkpoint_every:
+        Checkpoint cadence in epochs (see :meth:`Trainer.fit`).
 
     The driver prepares the deterministic context — global RNG re-seeded
     from the config, shared data split, one loader (whose shuffle stream
@@ -122,7 +137,8 @@ def run_recipe(
     freshly initialized model — and then simply folds the stage list
     over it.  Every result is a pure function of
     ``(recipe, config, data)``, which is what makes the parallel table
-    runner byte-identical to the serial one.
+    runner byte-identical to the serial one — and resuming from a
+    checkpoint restores every piece of that state, keeping the purity.
     """
     spec = get_recipe(recipe)
     start = time.time()
@@ -131,11 +147,23 @@ def run_recipe(
     loader = DataLoader(train, batch_size=config.batch_size,
                         seed=config.seed)
     model = DONN(config.system, rng=spawn_rng(config.seed + 17))
+    log = events if events is not None else EventLog.null()
     ctx = RunContext(recipe=recipe, config=config, train=train, test=test,
-                     loader=loader, model=model, verbose=verbose)
+                     loader=loader, model=model, verbose=verbose,
+                     events=log,
+                     checkpoint_dir=(None if checkpoint_dir is None
+                                     else Path(checkpoint_dir)),
+                     checkpoint_every=checkpoint_every)
+    log.emit("run_begin", recipe=recipe, family=config.family,
+             seed=config.seed, stages=[stage.name for stage in spec.stages])
     for stage in spec.stages:
         ctx = ctx.run_stage(stage)
-    return _result_from_context(ctx, wall_time=time.time() - start)
+    result = _result_from_context(ctx, wall_time=time.time() - start)
+    log.emit("run_end", recipe=recipe,
+             accuracy=result.accuracy, sparsity=result.sparsity,
+             roughness_after=result.roughness_after,
+             wall_time=round(result.wall_time, 4))
+    return result
 
 
 def _result_from_context(ctx: RunContext,

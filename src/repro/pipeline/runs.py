@@ -95,20 +95,27 @@ def save_run(
     config: ExperimentConfig,
     root: Union[str, Path],
     name: Optional[str] = None,
+    in_progress_ok: bool = False,
 ) -> Path:
     """Persist ``result`` as a run directory under ``root``.
 
     ``name`` overrides the generated directory name.  Returns the run
     directory path; the directory is loadable with :func:`load_run` and
     servable with ``repro serve --model <path>``.
+
+    ``in_progress_ok`` lets the resumable drivers finish a directory
+    they already populated (``events.jsonl``, checkpoints): a non-empty
+    target is then accepted as long as it holds no ``run.json`` yet —
+    a manifest still means "complete, never overwrite".
     """
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
     run_dir = (root / name) if name else _run_dir_name(result, config, root)
     if run_dir.exists() and any(run_dir.iterdir()):
-        raise FileExistsError(
-            f"run directory {run_dir} already exists and is not empty"
-        )
+        if not in_progress_ok or (run_dir / RUN_FILE).exists():
+            raise FileExistsError(
+                f"run directory {run_dir} already exists and is not empty"
+            )
     run_dir.mkdir(parents=True, exist_ok=True)
     manifest = {
         "format": RUN_FORMAT,
@@ -247,7 +254,8 @@ def load_run(path: Union[str, Path]) -> RunResult:
     )
 
 
-def load_runs(root: Union[str, Path]) -> List[RunResult]:
+def load_runs(root: Union[str, Path],
+              strict: bool = False) -> List[RunResult]:
     """Load every run directory under ``root`` (or ``root`` itself when
     it is a single run directory), sorted by directory name.
 
@@ -255,6 +263,10 @@ def load_runs(root: Union[str, Path]) -> List[RunResult]:
     format or version) is *skipped with a warning* rather than aborting
     the whole report — one bad run must not hold the healthy ones
     hostage.  It only raises when ``root`` holds no loadable run at all.
+
+    ``strict=True`` (``repro report --strict``) turns that warning into
+    a hard error: CI gates want "every run accounted for", not a quietly
+    shorter table.
     """
     root = Path(root)
     if not root.is_dir():
@@ -267,6 +279,10 @@ def load_runs(root: Union[str, Path]) -> List[RunResult]:
         try:
             runs.append(load_run(manifest.parent))
         except (ValueError, KeyError) as exc:
+            if strict:
+                raise ValueError(
+                    f"corrupt run directory {manifest.parent}: {exc}"
+                ) from exc
             corrupt += 1
             warnings.warn(
                 f"skipping corrupt run directory {manifest.parent}: {exc}",

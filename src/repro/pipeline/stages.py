@@ -20,8 +20,12 @@ repro code — see :class:`NoiseInjectStage` for a worked example and
 
 from __future__ import annotations
 
+import hashlib
+import json
+import math
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 import numpy as np
@@ -30,8 +34,10 @@ from ..autodiff import Adam
 from ..autodiff.rng import spawn_rng
 from ..backend import precision_scope
 from ..data import DataLoader, Dataset
-from ..donn import DONN, Trainer, accuracy
+from ..donn import DONN, Trainer, TrainingDiverged, accuracy
 from ..donn.training import TrainingHistory
+from ..utils.interrupt import check_interrupt
+from .events import EventLog
 from ..roughness import (
     IntraBlockRegularizer,
     RoughnessRegularizer,
@@ -87,6 +93,12 @@ class RunContext:
     loader: DataLoader
     model: DONN
     verbose: bool = False
+    #: Observability / fault tolerance (set by the driver when the run
+    #: is persisted): a streamed per-run event log, and a directory
+    #: checkpointing stages write crash-safe state into.
+    events: EventLog = field(default_factory=EventLog.null)
+    checkpoint_dir: Optional[Path] = None
+    checkpoint_every: int = 1
     # --- results, filled in by stages ---
     regularizers: List = field(default_factory=list)
     history: Optional[TrainingHistory] = None
@@ -104,18 +116,51 @@ class RunContext:
         self._pending_metrics.update(metrics)
 
     def run_stage(self, stage: "Stage") -> "RunContext":
-        """Execute one stage, timing it and collecting its metrics."""
+        """Execute one stage, timing it and collecting its metrics.
+
+        A pending graceful Ctrl-C stops *between* stages (the cheapest
+        clean point: any completed training stage has already written
+        its final checkpoint, so a resumed run fast-forwards to here).
+        """
+        check_interrupt(f"interrupted before stage {stage.name!r}")
         self._pending_metrics = {}
+        index = len(self.stage_records)
+        self.events.emit("stage_begin", stage=stage.name, index=index)
         start = time.time()
         result = stage.run(self)
         ctx = self if result is None else result
-        ctx.stage_records.append(StageRecord(
+        record = StageRecord(
             name=stage.name,
             wall_time=time.time() - start,
             metrics=dict(ctx._pending_metrics),
-        ))
+        )
+        ctx.stage_records.append(record)
         ctx._pending_metrics = {}
+        ctx.events.emit("stage_end", stage=stage.name, index=index,
+                        wall_time=round(record.wall_time, 4),
+                        metrics=record.metrics)
         return ctx
+
+    def stage_checkpoint(self, stage: "Stage") -> tuple:
+        """``(path, fingerprint)`` for a training-style stage's
+        checkpoint, or ``(None, "")`` when checkpointing is off.
+
+        The path is keyed by the stage's position in the recipe (two
+        ``TrainStage`` instances get distinct files), and the
+        fingerprint pins the checkpoint to this exact experiment —
+        recipe, stage parameters and full config — so a stale file from
+        a different sweep point can never be resumed by mistake.
+        """
+        if self.checkpoint_dir is None:
+            return None, ""
+        index = len(self.stage_records)
+        path = Path(self.checkpoint_dir) / f"stage{index}-{stage.name}.npz"
+        payload = json.dumps(
+            {"recipe": self.recipe, "stage": stage.name, "index": index,
+             "params": stage.params(), "config": self.config.to_dict()},
+            sort_keys=True, default=str,
+        )
+        return path, hashlib.sha1(payload.encode()).hexdigest()
 
 
 class Stage:
@@ -181,8 +226,19 @@ class TrainStage(Stage):
             regularizers=ctx.regularizers,
             precision=config.precision,
         )
-        ctx.history = trainer.fit(ctx.loader, epochs=config.baseline_epochs,
-                                  verbose=ctx.verbose)
+        checkpoint, fingerprint = ctx.stage_checkpoint(self)
+
+        def on_epoch(epoch: int, metrics: Dict[str, float]) -> None:
+            ctx.events.emit("epoch", stage=self.name, epoch=epoch + 1,
+                            epochs=config.baseline_epochs,
+                            **{key: round(float(value), 6)
+                               for key, value in metrics.items()})
+
+        ctx.history = trainer.fit(
+            ctx.loader, epochs=config.baseline_epochs, verbose=ctx.verbose,
+            checkpoint=checkpoint, checkpoint_every=ctx.checkpoint_every,
+            fingerprint=fingerprint, on_epoch=on_epoch,
+        )
         ctx.add_metrics(
             epochs=config.baseline_epochs,
             final_loss=ctx.history.loss[-1],
@@ -321,6 +377,11 @@ class NoiseInjectStage(Stage):
                     layer.phase.data = weights
                 optimizer.step()
                 final_loss = total.item()
+                if not math.isfinite(final_loss):
+                    raise TrainingDiverged(
+                        f"noise-inject fine-tuning diverged: loss="
+                        f"{final_loss!r} (sigma={self.sigma})"
+                    )
         ctx.add_metrics(sigma=self.sigma, epochs=self.epochs,
                         final_loss=final_loss)
         return ctx

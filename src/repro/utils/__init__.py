@@ -1,6 +1,12 @@
 """Small shared utilities: ASCII mask art, Pareto frontiers, checkpoints."""
 
 from .ascii_art import render_mask, render_side_by_side
+from .interrupt import (
+    InterruptRequested,
+    check_interrupt,
+    graceful_sigint,
+    interrupt_requested,
+)
 from .pareto import pareto_frontier
 from .serialization import (
     MODEL_FORMAT,
@@ -27,4 +33,8 @@ __all__ = [
     "dataclass_from_dict",
     "MODEL_FORMAT",
     "MODEL_FORMAT_VERSION",
+    "InterruptRequested",
+    "graceful_sigint",
+    "interrupt_requested",
+    "check_interrupt",
 ]

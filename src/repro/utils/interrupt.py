@@ -1,0 +1,90 @@
+"""Two-stage Ctrl-C handling for long-running commands.
+
+``repro run`` and ``repro sweep`` install :func:`graceful_sigint` around
+their work: the **first** Ctrl-C only raises a flag — the training loop
+finishes the epoch it is on, writes its checkpoint, the sweep driver
+persists the manifest, and the command exits at a clean resume point.
+A **second** Ctrl-C restores Python's default handler behaviour and
+raises :class:`KeyboardInterrupt` immediately (hard exit).
+
+The flag is process-global (signals are), queried with
+:func:`interrupt_requested` and turned into control flow with
+:func:`check_interrupt`, which raises :class:`InterruptRequested` — a
+normal ``Exception`` the orchestration layer catches to shut down
+cleanly.  Outside a :func:`graceful_sigint` block nothing changes:
+the flag can never be set, so the checks are free no-ops and Ctrl-C
+keeps its stock behaviour.
+
+Worker processes of a parallel sweep never install this handler (they
+ignore SIGINT entirely); the orchestrator owns interruption and their
+on-disk checkpoints are the resume point.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import sys
+import threading
+
+__all__ = [
+    "InterruptRequested",
+    "graceful_sigint",
+    "interrupt_requested",
+    "check_interrupt",
+]
+
+
+class InterruptRequested(Exception):
+    """Raised at the next safe point after a (first) Ctrl-C."""
+
+
+_requested = threading.Event()
+
+
+def interrupt_requested() -> bool:
+    """True once the user pressed Ctrl-C inside a graceful block."""
+    return _requested.is_set()
+
+
+def check_interrupt(note: str = "") -> None:
+    """Raise :class:`InterruptRequested` if a graceful stop is pending."""
+    if _requested.is_set():
+        raise InterruptRequested(note or "interrupted by Ctrl-C")
+
+
+@contextlib.contextmanager
+def graceful_sigint(message: str = "interrupt requested; finishing the "
+                                   "current checkpoint (Ctrl-C again to "
+                                   "exit immediately)"):
+    """Install the two-stage SIGINT handler for the duration of a block.
+
+    Only usable from the main thread (a signal-handler constraint); in
+    any other thread this is a transparent no-op.  Nested blocks are
+    not supported — the inner block is a no-op too, so the outermost
+    command owns the handler.
+    """
+    if (threading.current_thread() is not threading.main_thread()
+            or _requested.is_set() or _active[0]):
+        yield
+        return
+
+    def _handler(signum, frame):
+        if _requested.is_set():
+            # Second Ctrl-C: behave like the default handler.
+            raise KeyboardInterrupt
+        _requested.set()
+        print(message, file=sys.stderr, flush=True)
+
+    _active[0] = True
+    previous = signal.signal(signal.SIGINT, _handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGINT, previous)
+        _active[0] = False
+        _requested.clear()
+
+
+#: Re-entrancy latch for :func:`graceful_sigint` (module-private).
+_active = [False]

@@ -121,6 +121,48 @@ class TestSaveLoadRun:
             load_run(run_dir)
 
 
+class TestInProgressRunDirs:
+    def test_in_progress_dir_accepted(self, baseline_run, tmp_path):
+        # A resumable driver populates the directory (events.jsonl,
+        # checkpoints) before the run completes; save_run must finish it.
+        cfg, result = baseline_run
+        run_dir = tmp_path / "point"
+        run_dir.mkdir()
+        (run_dir / "events.jsonl").write_text('{"event": "run_begin"}\n')
+        saved = save_run(result, cfg, tmp_path, name="point",
+                         in_progress_ok=True)
+        assert saved == run_dir
+        assert load_run(run_dir).recipe == "baseline"
+
+    def test_completed_run_never_overwritten(self, baseline_run, tmp_path):
+        cfg, result = baseline_run
+        save_run(result, cfg, tmp_path, name="point")
+        with pytest.raises(FileExistsError, match="not empty"):
+            save_run(result, cfg, tmp_path, name="point",
+                     in_progress_ok=True)
+
+    def test_non_empty_dir_still_rejected_by_default(self, baseline_run,
+                                                     tmp_path):
+        cfg, result = baseline_run
+        run_dir = tmp_path / "point"
+        run_dir.mkdir()
+        (run_dir / "events.jsonl").write_text("")
+        with pytest.raises(FileExistsError, match="not empty"):
+            save_run(result, cfg, tmp_path, name="point")
+
+
+class TestStrictLoading:
+    def test_strict_raises_on_corrupt_run(self, baseline_run, tmp_path):
+        cfg, result = baseline_run
+        save_run(result, cfg, tmp_path, name="good")
+        bad = save_run(result, cfg, tmp_path, name="bad")
+        (bad / RUN_FILE).write_text("{torn")
+        with pytest.warns(RuntimeWarning, match="skipping corrupt"):
+            assert len(load_runs(tmp_path)) == 1
+        with pytest.raises(ValueError, match="corrupt run directory"):
+            load_runs(tmp_path, strict=True)
+
+
 class TestLoadRunsAndTables:
     def test_table_from_stored_runs_no_recompute(self, tiny_cfg, tmp_path):
         cfg = tiny_cfg()

@@ -71,9 +71,35 @@ class TestParser:
         ])
         assert args.set == ["slr.block_size=5", "n_train=60"]
 
+    def test_run_resume_and_checkpoint_flags(self):
+        args = build_parser().parse_args(["run", "ours_c"])
+        assert args.resume is False
+        assert args.checkpoint_every == 1
+        args = build_parser().parse_args([
+            "run", "ours_c", "--name", "x", "--resume",
+            "--checkpoint-every", "5",
+        ])
+        assert args.resume is True and args.checkpoint_every == 5
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "spec.json"])
+        assert args.command == "sweep"
+        assert args.spec == "spec.json"
+        assert args.out is None and args.resume is None
+        assert args.max_workers == 1
+        assert args.max_retries == 2
+        assert args.timeout_s is None
+        assert args.checkpoint_every == 1
+        assert args.faults is None
+
     def test_report_requires_runs_dir(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["report"])
+
+    def test_report_strict_flag(self):
+        assert build_parser().parse_args(["report", "runs"]).strict is False
+        assert build_parser().parse_args(
+            ["report", "runs", "--strict"]).strict is True
 
     def test_table_runs_dir_optional(self):
         assert build_parser().parse_args(["table"]).runs_dir is None
@@ -212,6 +238,79 @@ class TestRunCommand:
                      str(runs_dir), "--name", "exp1"]) == 2
         assert "already exists" in capsys.readouterr().err
 
+    def test_resume_requires_name(self, capsys):
+        assert main(["run", "baseline", *TINY, "--resume"]) == 2
+        assert "--resume needs --name" in capsys.readouterr().err
+
+    def test_interrupted_dir_suggests_resume(self, capsys, tmp_path):
+        # A half-run directory (events stream, no run.json) is the
+        # --resume case, not a plain collision.
+        runs_dir = tmp_path / "runs"
+        half = runs_dir / "exp1"
+        half.mkdir(parents=True)
+        (half / "events.jsonl").write_text("")
+        assert main(["run", "baseline", *TINY, "--runs-dir",
+                     str(runs_dir), "--name", "exp1"]) == 2
+        assert "pass --resume" in capsys.readouterr().err
+
+    def test_checkpoint_every_validated(self, capsys):
+        assert main(["run", "baseline", *TINY,
+                     "--checkpoint-every", "0"]) == 2
+        assert "--checkpoint-every" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    SPEC = {
+        "base": "laptop", "family": "digits", "n": 20, "seed": 0,
+        "recipe": "baseline",
+        "set": {"n_train": 60, "n_test": 30, "batch_size": 30,
+                "baseline_epochs": 1, "twopi.iterations": 10},
+        "grid": {"roughness_p": [0.1]},
+    }
+
+    def test_sweep_then_resume_skips(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(self.SPEC))
+        sweep_dir = tmp_path / "sw"
+        assert main(["sweep", str(spec_file), "--out",
+                     str(sweep_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 completed, 0 skipped, 0 failed, 0 pending" in out
+        assert "p000-baseline" in out
+        assert (sweep_dir / "sweep.json").is_file()
+        assert (sweep_dir / "runs" / "p000-baseline"
+                / "run.json").is_file()
+        from repro.pipeline import format_sweep
+
+        table = format_sweep(sweep_dir)
+        assert table in out
+        # Resume: nothing recomputed, identical table re-rendered.
+        assert main(["sweep", "--resume", str(sweep_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "0 completed, 1 skipped, 0 failed, 0 pending" in out
+        assert table in out
+
+    def test_spec_xor_resume(self, capsys, tmp_path):
+        assert main(["sweep"]) == 2
+        assert "spec file" in capsys.readouterr().err
+        assert main(["sweep", "spec.json", "--resume",
+                     str(tmp_path)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_bad_spec_fails_cleanly(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({"recipe": "baseline"}))
+        assert main(["sweep", str(spec_file)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_bad_faults_fail_cleanly(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(self.SPEC))
+        assert main(["sweep", str(spec_file), "--out",
+                     str(tmp_path / "sw"), "--faults",
+                     "explode:point=0"]) == 2
+        assert "bad fault" in capsys.readouterr().err
+
 
 class TestReportCommand:
     def test_report_renders_stored_runs(self, capsys, tmp_path):
@@ -232,3 +331,21 @@ class TestReportCommand:
     def test_report_missing_dir_fails_cleanly(self, capsys, tmp_path):
         assert main(["report", str(tmp_path / "missing")]) == 2
         assert capsys.readouterr().err
+
+    def test_report_strict_hard_fails_on_corrupt_run(self, capsys,
+                                                     tmp_path):
+        runs_dir = tmp_path / "runs"
+        assert main(["run", "baseline", *TINY, "--runs-dir",
+                     str(runs_dir), "--name", "good",
+                     "--set", "twopi.iterations=10"]) == 0
+        bad = runs_dir / "bad"
+        bad.mkdir()
+        (bad / "run.json").write_text("{torn")
+        capsys.readouterr()
+        # Default: warn and render the healthy run.
+        with pytest.warns(RuntimeWarning, match="skipping corrupt"):
+            assert main(["report", str(runs_dir)]) == 0
+        assert "rendered 1 stored run(s)" in capsys.readouterr().out
+        # Strict (CI gate): every run accounted for, or fail.
+        assert main(["report", str(runs_dir), "--strict"]) == 2
+        assert "corrupt run directory" in capsys.readouterr().err
