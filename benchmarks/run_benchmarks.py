@@ -20,7 +20,11 @@ acceptance gate) and writes ``BENCH_sweep.json``::
         [--backend-output BENCH_backend.json]
         [--sweep-output BENCH_sweep.json]
 
-Each snapshot maps case names to timings plus a ``summary`` block of
+Each snapshot carries a ``provenance`` block (git SHA, timestamp,
+python/numpy/scipy versions, platform) and a ``thresholds`` block of
+regression gates that ``repro bench-compare`` enforces against an older
+snapshot (non-zero exit on regression — the CI bench gate), and maps
+case names to timings plus a ``summary`` block of
 speedup ratios — engine-vs-autodiff inference for the kernel snapshot,
 fused-vs-composed training steps for the training snapshot, and
 batched-vs-one-at-a-time serving throughput (with p50/p99 latency per
@@ -40,6 +44,60 @@ import sys
 import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def provenance() -> dict:
+    """Who/when/where a snapshot was taken: stamped into every
+    ``BENCH_*.json`` so ``repro bench-compare`` can say *which commits*
+    it is diffing, and so a snapshot regression can be bisected."""
+    import platform
+    from datetime import datetime, timezone
+
+    try:
+        git_sha = subprocess.check_output(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            stderr=subprocess.DEVNULL,
+        ).decode().strip()
+    except (OSError, subprocess.CalledProcessError):
+        git_sha = None
+    try:
+        dirty = bool(subprocess.check_output(
+            ["git", "status", "--porcelain"], cwd=REPO_ROOT,
+            stderr=subprocess.DEVNULL,
+        ).strip())
+    except (OSError, subprocess.CalledProcessError):
+        dirty = None
+    versions = {"python": platform.python_version()}
+    for package in ("numpy", "scipy"):
+        try:
+            versions[package] = __import__(package).__version__
+        except ImportError:
+            versions[package] = None
+    return {
+        "git_sha": git_sha,
+        "git_dirty": dirty,
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "platform": platform.platform(),
+        **versions,
+    }
+
+
+#: Regression gates embedded per snapshot — ``repro bench-compare``
+#: reads the *new* snapshot's block (else the old's), so a quick/CI
+#: snapshot deliberately writes only the gates that remain meaningful
+#: at its shrunken scale (correctness booleans, never timing ratios).
+_SERVING_THRESHOLDS = {
+    "n20_double.batch32_vs_batch1": 2.0,
+    "fault_recovery.byte_identical": True,
+    "fault_recovery.recovered": True,
+}
+_SERVING_THRESHOLDS_QUICK = {
+    "fault_recovery.byte_identical": True,
+    "fault_recovery.recovered": True,
+}
+_BACKEND_THRESHOLDS = {"train_single_vs_double_n64": 1.5}
+_SWEEP_THRESHOLDS = {"byte_identical": True}
 
 #: Inference benches paired into "speedup of B over A" summary entries.
 _KERNEL_SPEEDUPS = {
@@ -118,6 +176,8 @@ def run_bench_module(module: str, output: str, speedups: dict,
     snapshot = {
         "machine_info": raw.get("machine_info", {}),
         "datetime": raw.get("datetime"),
+        "provenance": provenance(),
+        "thresholds": {},  # no ratio gates; compare flags boolean flips
         "cases": cases,
         "summary": summary,
     }
@@ -187,6 +247,9 @@ def run_serving_bench(output: str, quick: bool = False) -> int:
         )
     snapshot = {
         "workloads": workloads,
+        "provenance": provenance(),
+        "thresholds": (_SERVING_THRESHOLDS_QUICK if quick
+                       else _SERVING_THRESHOLDS),
         "summary": {
             f"{name}.{label}": value
             for name, workload in workloads.items()
@@ -333,6 +396,9 @@ def run_backend_bench(output: str, quick: bool = False) -> int:
             "numpy": np.__version__,
             "backend": "scipy" if have_scipy else "numpy",
         },
+        "provenance": provenance(),
+        "thresholds": (_BACKEND_THRESHOLDS
+                       if have_scipy and not quick else {}),
         "cases": cases,
         "summary": summary,
     }
@@ -423,6 +489,10 @@ def run_sweep_bench(output: str, quick: bool = False) -> int:
     }
     snapshot = {
         "machine_info": {"cpu_count": os.cpu_count()},
+        "provenance": provenance(),
+        # The byte-identity gate is correctness, not speed: it holds at
+        # any scale, so quick snapshots keep it.
+        "thresholds": dict(_SWEEP_THRESHOLDS),
         "cases": cases,
         "summary": summary_block,
     }

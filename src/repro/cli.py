@@ -10,6 +10,12 @@ Commands
   directory (supervised parallel workers, crash retry, ``--resume``);
 * ``report``      — re-render paper-style tables from stored run
   directories, no recompute (``--strict`` hard-fails on corrupt runs);
+  ``--compare A B`` diffs two runs roots across commits/configs instead;
+* ``tail``        — live terminal dashboard over the ``events.jsonl``
+  streams of a run/sweep directory (``--once`` for CI, ``--html`` for a
+  static export);
+* ``bench-compare`` — diff two ``BENCH_*.json`` snapshots against their
+  embedded regression thresholds (non-zero exit on regression);
 * ``quickstart``  — train a small DONN and print accuracy/roughness;
 * ``recipe``      — run one of the paper's recipes (baseline, ours_a..d);
 * ``table``       — reproduce a full paper table (five recipes);
@@ -183,12 +189,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-render paper-style tables from stored run directories "
              "(no recompute)",
     )
-    report.add_argument("runs_dir", metavar="RUNS_DIR",
+    report.add_argument("runs_dir", metavar="RUNS_DIR", nargs="?",
+                        default=None,
                         help="a runs root (or a single run directory)")
     report.add_argument(
         "--strict", action="store_true",
         help="treat a corrupt run directory as a hard error instead of "
              "skipping it with a warning (CI gates)",
+    )
+    report.add_argument(
+        "--compare", nargs=2, metavar=("A", "B"), default=None,
+        help="diff two runs roots instead of rendering tables: matched "
+             "run directories get metric deltas and per-stage wall "
+             "times; exits 1 if B regresses accuracy vs A",
+    )
+    report.add_argument(
+        "--tolerance", type=float, default=1e-6, metavar="EPS",
+        help="accuracy drop beyond this counts as a regression with "
+             "--compare (default: 1e-6, i.e. any drop)",
     )
 
     quick = sub.add_parser("quickstart", help="train a small DONN")
@@ -274,6 +292,46 @@ def build_parser() -> argparse.ArgumentParser:
                             "to a serial engine before timing")
     bench.add_argument("--output", default=None, metavar="JSON",
                        help="write the stats snapshot here")
+
+    tail_p = sub.add_parser(
+        "tail",
+        help="live terminal dashboard over the events.jsonl streams of "
+             "a run, sweep, or runs root",
+    )
+    tail_p.add_argument(
+        "path", metavar="DIR",
+        help="a sweep directory (sweep.json), a single run directory, "
+             "or a runs root containing run directories",
+    )
+    tail_p.add_argument(
+        "--once", action="store_true",
+        help="render one snapshot and exit (non-TTY/CI friendly)",
+    )
+    tail_p.add_argument(
+        "--html", default=None, metavar="PATH",
+        help="write a static HTML snapshot to PATH and exit",
+    )
+    tail_p.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh period in follow mode (default: 1.0s)",
+    )
+
+    bench_cmp = sub.add_parser(
+        "bench-compare",
+        help="diff two BENCH_*.json snapshots; non-zero exit on "
+             "regression against the embedded thresholds",
+    )
+    bench_cmp.add_argument("old", metavar="OLD_JSON",
+                           help="baseline snapshot (e.g. the committed "
+                                "benchmarks/BENCH_*.json)")
+    bench_cmp.add_argument("new", metavar="NEW_JSON",
+                           help="candidate snapshot to gate")
+    bench_cmp.add_argument(
+        "--max-drop", type=float, default=None, metavar="FRAC",
+        help="also fail if any shared case's mean time grew by more "
+             "than this fraction (e.g. 0.25 = 25%% slower); off by "
+             "default because CI machines are noisy",
+    )
     return parser
 
 
@@ -474,6 +532,25 @@ def _cmd_report(args) -> int:
 
     from .pipeline import load_runs, table_from_runs
 
+    if args.compare is not None:
+        if args.runs_dir is not None:
+            print("pass either RUNS_DIR or --compare A B, not both",
+                  file=sys.stderr)
+            return 2
+        from .obs import compare_runs, format_run_comparison
+
+        try:
+            comparison = compare_runs(args.compare[0], args.compare[1],
+                                      tolerance=args.tolerance)
+        except (FileNotFoundError, ValueError) as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(format_run_comparison(comparison), end="")
+        return 1 if comparison["regressions"] else 0
+    if args.runs_dir is None:
+        print("report needs RUNS_DIR (render tables) or --compare A B "
+              "(diff two runs roots)", file=sys.stderr)
+        return 2
     try:
         runs = load_runs(args.runs_dir, strict=args.strict)
     except (FileNotFoundError, ValueError) as exc:
@@ -693,6 +770,38 @@ def _cmd_bench_serve(args) -> int:
     return 0
 
 
+def _cmd_tail(args) -> int:
+    from .obs import follow, render_html, render_text, snapshot
+
+    try:
+        if args.html:
+            Path(args.html).write_text(render_html(snapshot(args.path)))
+            print(f"wrote {args.html}")
+        elif args.once:
+            print(render_text(snapshot(args.path)), end="")
+        else:
+            follow(args.path, interval=args.interval)
+    except (FileNotFoundError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from .obs import bench_compare, format_bench_compare
+
+    try:
+        result = bench_compare(args.old, args.new,
+                               max_drop=args.max_drop)
+    except (FileNotFoundError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(format_bench_compare(result), end="")
+    return 1 if result["regressions"] else 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
@@ -703,6 +812,8 @@ _COMMANDS = {
     "solvers": _cmd_solvers,
     "serve": _cmd_serve,
     "bench-serve": _cmd_bench_serve,
+    "tail": _cmd_tail,
+    "bench-compare": _cmd_bench_compare,
 }
 
 

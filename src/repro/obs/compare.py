@@ -1,0 +1,380 @@
+"""Cross-commit comparison of stored runs and ``BENCH_*.json`` snapshots.
+
+Two halves, both consumed by the CLI and CI:
+
+* :func:`compare_runs` / :func:`format_run_comparison` — ``repro report
+  --compare <A> <B>``: diff two runs-roots produced by different
+  commits/configs — headline-metric deltas and per-stage wall times per
+  matching run directory, with accuracy regressions flagged.
+* :func:`bench_compare` / :func:`format_bench_compare` — ``repro
+  bench-compare <old.json> <new.json>``: diff two benchmark snapshots.
+  Regression gates come from the snapshot itself: an optional
+  ``"thresholds"`` block maps summary keys to minimum acceptable values
+  (the *new* snapshot's block wins when both carry one), every summary
+  boolean that flips true→false is a regression, and ``max_drop`` adds
+  an optional uniform slowdown gate over case timings.  CI runs this
+  against the committed snapshots and fails on any regression.
+
+Everything here reads bytes on disk — no benchmark is re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..pipeline.runs import RunResult, load_runs
+
+__all__ = [
+    "compare_runs",
+    "format_run_comparison",
+    "bench_compare",
+    "format_bench_compare",
+]
+
+#: Headline metrics diffed per run (name, higher-is-better).
+_RUN_METRICS = (
+    ("accuracy", True),
+    ("roughness_before", False),
+    ("roughness_after", False),
+    ("sparsity", True),
+    ("wall_time", False),
+)
+
+#: Top-level snapshot keys that are identification, not measurement.
+_BENCH_META_KEYS = ("machine_info", "datetime", "provenance", "thresholds")
+
+
+def _finite(value: Any) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+# ---------------------------------------------------------------------------
+# Stored-run comparison (repro report --compare A B)
+
+
+def _stage_walls(run: RunResult) -> Dict[str, float]:
+    """``stage name -> wall seconds`` (duplicate stage names of one
+    recipe — e.g. two train stages — are disambiguated by position)."""
+    walls: Dict[str, float] = {}
+    for index, record in enumerate(run.stages):
+        name = str(record.get("name", f"stage{index}"))
+        if name in walls:
+            name = f"{name}#{index}"
+        wall = _finite(record.get("wall_time"))
+        if wall is not None:
+            walls[name] = wall
+    return walls
+
+
+def compare_runs(root_a: Union[str, Path], root_b: Union[str, Path],
+                 tolerance: float = 1e-6) -> Dict[str, Any]:
+    """Diff two runs-roots; returns a JSON-safe comparison structure.
+
+    Runs are matched by directory name (two sweeps / runs-roots of the
+    same spec at different commits produce identical names).  A matched
+    run whose accuracy in B is more than ``tolerance`` below A is
+    recorded as a regression.
+    """
+    runs_a = {run.path.name: run for run in load_runs(root_a)}
+    runs_b = {run.path.name: run for run in load_runs(root_b)}
+    matched: List[Dict[str, Any]] = []
+    regressions: List[Dict[str, Any]] = []
+    for name in sorted(set(runs_a) & set(runs_b)):
+        a, b = runs_a[name], runs_b[name]
+        metrics: Dict[str, Any] = {}
+        for key, higher_better in _RUN_METRICS:
+            value_a = _finite(getattr(a, key))
+            value_b = _finite(getattr(b, key))
+            delta = (value_b - value_a
+                     if value_a is not None and value_b is not None
+                     else None)
+            metrics[key] = {"a": value_a, "b": value_b, "delta": delta}
+            if key == "accuracy" and delta is not None \
+                    and delta < -tolerance:
+                regressions.append({
+                    "run": name, "metric": key,
+                    "a": value_a, "b": value_b,
+                    "delta": round(delta, 6),
+                })
+        walls_a, walls_b = _stage_walls(a), _stage_walls(b)
+        stages: Dict[str, Any] = {}
+        for stage in list(walls_a) + [s for s in walls_b
+                                      if s not in walls_a]:
+            wall_a, wall_b = walls_a.get(stage), walls_b.get(stage)
+            stages[stage] = {
+                "a": wall_a,
+                "b": wall_b,
+                "ratio": (round(wall_a / wall_b, 3)
+                          if wall_a and wall_b else None),
+            }
+        matched.append({
+            "name": name,
+            "recipe": b.recipe,
+            "metrics": metrics,
+            "stages": stages,
+        })
+    return {
+        "a": str(root_a),
+        "b": str(root_b),
+        "runs": matched,
+        "only_a": sorted(set(runs_a) - set(runs_b)),
+        "only_b": sorted(set(runs_b) - set(runs_a)),
+        "regressions": regressions,
+    }
+
+
+def _fmt(value: Optional[float], digits: int = 4) -> str:
+    return f"{value:.{digits}f}" if value is not None else "-"
+
+
+def _fmt_delta(delta: Optional[float], digits: int = 4) -> str:
+    if delta is None:
+        return "-"
+    return f"{delta:+.{digits}f}"
+
+
+def format_run_comparison(comparison: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`compare_runs` output."""
+    lines = [
+        f"run comparison: A={comparison['a']}  B={comparison['b']}",
+        "",
+    ]
+    if not comparison["runs"]:
+        lines.append("no run directories in common — nothing to compare")
+    for entry in comparison["runs"]:
+        lines.append(f"{entry['name']} ({entry['recipe']})")
+        metrics = entry["metrics"]
+        for key, _ in _RUN_METRICS:
+            row = metrics[key]
+            digits = 2 if key == "wall_time" else 4
+            flag = ""
+            if any(r["run"] == entry["name"] and r["metric"] == key
+                   for r in comparison["regressions"]):
+                flag = "   << REGRESSION"
+            lines.append(
+                f"  {key:<17} A {_fmt(row['a'], digits):>10}  "
+                f"B {_fmt(row['b'], digits):>10}  "
+                f"delta {_fmt_delta(row['delta'], digits):>11}{flag}"
+            )
+        if entry["stages"]:
+            lines.append("  stage wall times (s, ratio = A/B, >1 = B "
+                         "faster):")
+            for stage, row in entry["stages"].items():
+                ratio = (f"{row['ratio']:.2f}x"
+                         if row["ratio"] is not None else "-")
+                lines.append(
+                    f"    {stage:<15} A {_fmt(row['a'], 2):>9}  "
+                    f"B {_fmt(row['b'], 2):>9}  {ratio:>8}"
+                )
+        lines.append("")
+    for side, names in (("A", comparison["only_a"]),
+                        ("B", comparison["only_b"])):
+        if names:
+            lines.append(f"only in {side}: {', '.join(names)}")
+    if comparison["regressions"]:
+        lines.append(
+            f"{len(comparison['regressions'])} accuracy regression(s) "
+            "flagged (B below A)"
+        )
+    else:
+        lines.append("no accuracy regressions (B >= A on every matched "
+                     "run)")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Benchmark-snapshot comparison (repro bench-compare old.json new.json)
+
+
+def _flatten_numeric(node: Any, prefix: str = "") -> Dict[str, Any]:
+    """Flatten nested dicts to ``dotted.path -> number|bool`` leaves."""
+    flat: Dict[str, Any] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(_flatten_numeric(value, path))
+    elif isinstance(node, bool) or _finite(node) is not None:
+        flat[prefix] = node
+    return flat
+
+
+def _load_snapshot(path: Union[str, Path]) -> Dict[str, Any]:
+    path = Path(path)
+    try:
+        snapshot = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not a JSON benchmark snapshot: "
+                         f"{exc}") from exc
+    if not isinstance(snapshot, dict):
+        raise ValueError(f"{path}: benchmark snapshot must be a JSON "
+                         "object")
+    return snapshot
+
+
+def bench_compare(old_path: Union[str, Path], new_path: Union[str, Path],
+                  max_drop: Optional[float] = None) -> Dict[str, Any]:
+    """Diff two benchmark snapshots; returns the comparison structure
+    (``result["regressions"]`` non-empty means the gate should fail).
+
+    Three regression sources:
+
+    * **thresholds** — a ``{"thresholds": {summary key: minimum}}``
+      block embedded in the snapshot (the new snapshot's block wins,
+      else the old's).  A numeric threshold fails when the new summary
+      value is below it or missing; a boolean threshold fails when the
+      new value differs from it.
+    * **boolean flips** — any summary boolean that was true in the old
+      snapshot and is false in the new one (``byte_identical``,
+      ``recovered`` — correctness gates never regress silently).
+    * **max_drop** — optional: any shared ``*.mean_s`` case timing that
+      grew by more than this fraction (e.g. ``0.25`` = 25% slower).
+    """
+    old = _load_snapshot(old_path)
+    new = _load_snapshot(new_path)
+    thresholds = new.get("thresholds")
+    if not isinstance(thresholds, dict):
+        thresholds = old.get("thresholds")
+    thresholds = dict(thresholds) if isinstance(thresholds, dict) else {}
+
+    old_flat = _flatten_numeric(
+        {k: v for k, v in old.items() if k not in _BENCH_META_KEYS})
+    new_flat = _flatten_numeric(
+        {k: v for k, v in new.items() if k not in _BENCH_META_KEYS})
+
+    summary_keys = sorted(
+        {k for k in old_flat if k.startswith("summary.")}
+        | {k for k in new_flat if k.startswith("summary.")}
+    )
+    summary_rows = {
+        key[len("summary."):]: {"old": old_flat.get(key),
+                                "new": new_flat.get(key)}
+        for key in summary_keys
+    }
+
+    case_rows: Dict[str, Dict[str, Any]] = {}
+    for key in sorted(set(old_flat) | set(new_flat)):
+        if not key.endswith(".mean_s") or key.startswith("summary."):
+            continue
+        case = key[:-len(".mean_s")]
+        old_mean, new_mean = _finite(old_flat.get(key)), \
+            _finite(new_flat.get(key))
+        case_rows[case] = {
+            "old_mean_s": old_mean,
+            "new_mean_s": new_mean,
+            # >1 means the new snapshot is faster on this case.
+            "ratio": (round(old_mean / new_mean, 3)
+                      if old_mean and new_mean else None),
+        }
+
+    regressions: List[Dict[str, Any]] = []
+    for key, minimum in sorted(thresholds.items()):
+        value = summary_rows.get(key, {}).get("new")
+        if isinstance(minimum, bool):
+            if bool(value) != minimum:
+                regressions.append({
+                    "kind": "threshold", "key": key,
+                    "minimum": minimum, "value": value,
+                })
+        elif _finite(minimum) is not None:
+            if _finite(value) is None or float(value) < float(minimum):
+                regressions.append({
+                    "kind": "threshold", "key": key,
+                    "minimum": float(minimum),
+                    "value": _finite(value),
+                })
+    for key, row in summary_rows.items():
+        if key in thresholds:
+            continue  # already gated above; don't report twice
+        if row["old"] is True and row["new"] is False:
+            regressions.append({
+                "kind": "boolean_flip", "key": key,
+                "minimum": True, "value": False,
+            })
+    if max_drop is not None:
+        for case, row in case_rows.items():
+            old_mean, new_mean = row["old_mean_s"], row["new_mean_s"]
+            if old_mean and new_mean and old_mean > 0:
+                drop = new_mean / old_mean - 1.0
+                if drop > max_drop:
+                    regressions.append({
+                        "kind": "slowdown", "key": case,
+                        "minimum": round(max_drop, 4),
+                        "value": round(drop, 4),
+                    })
+
+    return {
+        "old": str(old_path),
+        "new": str(new_path),
+        "old_provenance": old.get("provenance"),
+        "new_provenance": new.get("provenance"),
+        "thresholds": thresholds,
+        "summary": summary_rows,
+        "cases": case_rows,
+        "regressions": regressions,
+    }
+
+
+def _provenance_tag(provenance: Optional[Dict[str, Any]]) -> str:
+    if not isinstance(provenance, dict):
+        return ""
+    sha = str(provenance.get("git_sha") or "?")[:12]
+    stamp = provenance.get("timestamp") or provenance.get("datetime")
+    return f" ({sha}{f' @ {stamp}' if stamp else ''})"
+
+
+def format_bench_compare(result: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`bench_compare` output."""
+    lines = [
+        f"bench-compare: old {result['old']}"
+        f"{_provenance_tag(result['old_provenance'])}",
+        f"           vs  new {result['new']}"
+        f"{_provenance_tag(result['new_provenance'])}",
+        "",
+    ]
+    if result["summary"]:
+        lines.append("summary:")
+        width = max(len(key) for key in result["summary"])
+        for key, row in result["summary"].items():
+            olds, news = row["old"], row["new"]
+
+            def cell(value: Any) -> str:
+                if isinstance(value, bool):
+                    return str(value)
+                return _fmt(_finite(value), 3)
+
+            delta = ""
+            old_f, new_f = _finite(olds), _finite(news)
+            if not isinstance(olds, bool) and old_f is not None \
+                    and new_f is not None:
+                delta = f"  ({_fmt_delta(new_f - old_f, 3)})"
+            lines.append(f"  {key.ljust(width)}  old {cell(olds):>9}  "
+                         f"new {cell(news):>9}{delta}")
+        lines.append("")
+    if result["cases"]:
+        lines.append("cases (mean seconds; ratio > 1 = new faster):")
+        width = max(len(case) for case in result["cases"])
+        for case, row in result["cases"].items():
+            ratio = (f"{row['ratio']:.2f}x"
+                     if row["ratio"] is not None else "-")
+            lines.append(
+                f"  {case.ljust(width)}  old {_fmt(row['old_mean_s'], 5):>10}  "
+                f"new {_fmt(row['new_mean_s'], 5):>10}  {ratio:>8}"
+            )
+        lines.append("")
+    if result["regressions"]:
+        lines.append(f"REGRESSIONS ({len(result['regressions'])}):")
+        for regression in result["regressions"]:
+            lines.append(
+                f"  [{regression['kind']}] {regression['key']}: "
+                f"{regression['value']!r} violates minimum "
+                f"{regression['minimum']!r}"
+            )
+    else:
+        lines.append("no regressions against thresholds")
+    return "\n".join(lines).rstrip() + "\n"

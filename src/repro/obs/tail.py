@@ -1,0 +1,498 @@
+"""``repro tail``: a live terminal/HTML dashboard over event streams.
+
+A sweep directory accumulates one ``events.jsonl`` per point
+(:mod:`repro.pipeline.events`); a single run directory holds one.  This
+module folds those streams into a point-in-time :func:`snapshot` — per
+point: status, current stage, epoch progress, loss/accuracy history,
+retry/failure attribution, wall time — and renders it three ways:
+
+* :func:`render_text` — an ANSI terminal view with unicode sparklines
+  (``--once`` prints it exactly once for non-TTY/CI use);
+* :func:`render_html` — a dependency-free static page (``--html``);
+* :func:`follow` — the live loop: redraw every ``interval`` seconds
+  until interrupted (what a bare ``repro tail <dir>`` runs).
+
+Everything is computed from bytes already on disk — tailing a sweep
+never touches the sweep's own process, and a snapshot of a crashed or
+SIGKILL'd sweep is just as renderable as a live one.
+"""
+
+from __future__ import annotations
+
+import html
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..pipeline.events import EVENTS_FILE, read_events
+from ..pipeline.runs import RUN_FILE
+from ..pipeline.sweep import RUNS_SUBDIR, SWEEP_FILE, read_manifest
+
+__all__ = ["snapshot", "render_text", "render_html", "follow"]
+
+#: Eighth-block ramp used for the loss/accuracy sparklines.
+_TICKS = " ▁▂▃▄▅▆▇█"
+
+#: How many trailing epochs a sparkline keeps.
+_SPARK_WIDTH = 24
+
+_STATUS_ORDER = ("running", "failed", "pending", "done")
+
+_ANSI = {
+    "reset": "\x1b[0m",
+    "bold": "\x1b[1m",
+    "dim": "\x1b[2m",
+    "red": "\x1b[31m",
+    "green": "\x1b[32m",
+    "yellow": "\x1b[33m",
+    "cyan": "\x1b[36m",
+}
+
+_STATUS_STYLE = {
+    "done": ("green", "✔"),
+    "running": ("yellow", "▶"),
+    "failed": ("red", "✘"),
+    "pending": ("dim", "·"),
+}
+
+
+# ---------------------------------------------------------------------------
+# Snapshot: fold events.jsonl streams into one structured dict
+
+
+def _fold_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Reduce one run's event list to the fields the dashboard shows."""
+    state: Dict[str, Any] = {
+        "recipe": None,
+        "stages": [],          # declared stage names (run_begin)
+        "stage": None,         # current/last stage name
+        "stage_index": None,
+        "stages_done": 0,
+        "epoch": None,
+        "epochs": None,
+        "loss_history": [],
+        "accuracy_history": [],
+        "loss": None,
+        "train_accuracy": None,
+        "test_accuracy": None,
+        "accuracy": None,      # final (run_end)
+        "wall_time": None,     # final (run_end)
+        "started_ts": None,
+        "last_ts": None,
+        "epoch_ts": [],        # ts of recent epoch events (throughput)
+        "retries": [],
+        "failure": None,
+        "finished": False,
+    }
+    for record in events:
+        event = record.get("event")
+        ts = record.get("ts")
+        if isinstance(ts, (int, float)):
+            state["last_ts"] = ts
+        if event == "run_begin":
+            # A retried/resumed attempt re-emits run_begin into the same
+            # stream; progress restarts with it.
+            if state["started_ts"] is None:
+                state["started_ts"] = ts
+            state["recipe"] = record.get("recipe", state["recipe"])
+            stages = record.get("stages")
+            if isinstance(stages, list):
+                state["stages"] = [str(name) for name in stages]
+            state["stages_done"] = 0
+            state["finished"] = False
+        elif event == "stage_begin":
+            state["stage"] = record.get("stage")
+            state["stage_index"] = record.get("index")
+            state["epoch"] = state["epochs"] = None
+        elif event == "stage_end":
+            index = record.get("index")
+            if isinstance(index, int):
+                state["stages_done"] = max(state["stages_done"], index + 1)
+        elif event == "epoch":
+            state["epoch"] = record.get("epoch")
+            state["epochs"] = record.get("epochs")
+            loss = record.get("loss")
+            if isinstance(loss, (int, float)):
+                state["loss"] = loss
+                state["loss_history"].append(float(loss))
+            for key in ("train_accuracy", "test_accuracy"):
+                value = record.get(key)
+                if isinstance(value, (int, float)):
+                    state[key] = value
+            if isinstance(record.get("test_accuracy"), (int, float)):
+                state["accuracy_history"].append(
+                    float(record["test_accuracy"])
+                )
+            if isinstance(ts, (int, float)):
+                state["epoch_ts"].append(ts)
+        elif event == "run_end":
+            state["accuracy"] = record.get("accuracy")
+            state["wall_time"] = record.get("wall_time")
+            state["finished"] = True
+        elif event == "point_retry":
+            state["retries"].append({
+                "error_type": record.get("error_type"),
+                "message": record.get("message"),
+                "attempt": record.get("attempt"),
+                "delay": record.get("delay"),
+            })
+        elif event == "point_failed":
+            state["failure"] = {
+                "error_type": record.get("error_type"),
+                "message": record.get("message"),
+                "attempts": record.get("attempts"),
+                "permanent": record.get("permanent"),
+            }
+    # Keep histories bounded; the sparkline only shows the tail anyway.
+    for key in ("loss_history", "accuracy_history"):
+        state[key] = state[key][-200:]
+    state["epoch_ts"] = state["epoch_ts"][-50:]
+    return state
+
+
+def _point_snapshot(name: str, run_dir: Path,
+                    manifest_entry: Optional[Dict[str, Any]] = None,
+                    ) -> Dict[str, Any]:
+    """One point's view: the folded event stream + on-disk truth."""
+    events_path = run_dir / EVENTS_FILE
+    events = read_events(events_path) if events_path.is_file() else []
+    state = _fold_events(events)
+    done = (run_dir / RUN_FILE).is_file()  # run.json is the truth
+    if manifest_entry is not None:
+        status = manifest_entry.get("status", "pending")
+        if done:
+            status = "done"
+        elif status == "done":
+            status = "pending"  # manifest ahead of a vanished run dir
+    elif done:
+        status = "done"
+    elif state["failure"] is not None:
+        status = "failed"
+    elif state["started_ts"] is not None and not state["finished"]:
+        status = "running"
+    else:
+        status = "done" if state["finished"] else "pending"
+    point: Dict[str, Any] = {
+        "name": name,
+        "path": str(run_dir),
+        "status": status,
+        "recipe": (manifest_entry or {}).get("recipe") or state["recipe"],
+        "overrides": (manifest_entry or {}).get("overrides", {}),
+        "attempts": (manifest_entry or {}).get("attempts", 0),
+    }
+    point.update({key: state[key] for key in (
+        "stages", "stage", "stage_index", "stages_done", "epoch", "epochs",
+        "loss_history", "accuracy_history", "loss",
+        "train_accuracy", "test_accuracy", "accuracy", "wall_time",
+        "started_ts", "last_ts", "retries", "failure",
+    )})
+    # Epochs/second over the recent epoch events (throughput signal).
+    ts = state["epoch_ts"]
+    if len(ts) >= 2 and ts[-1] > ts[0]:
+        point["epochs_per_s"] = round((len(ts) - 1) / (ts[-1] - ts[0]), 4)
+    else:
+        point["epochs_per_s"] = None
+    return point
+
+
+def _progress(point: Dict[str, Any]) -> float:
+    """0..1 completion estimate for one point (drives the sweep ETA)."""
+    if point["status"] == "done":
+        return 1.0
+    total = len(point["stages"]) or None
+    done_stages = point["stages_done"]
+    fraction = 0.0
+    if point["epoch"] and point["epochs"]:
+        fraction = min(1.0, point["epoch"] / point["epochs"])
+    if total:
+        return min(1.0, (done_stages + fraction) / total)
+    return fraction
+
+
+def snapshot(path: Union[str, Path]) -> Dict[str, Any]:
+    """Fold a sweep / runs-root / single-run directory into one dict.
+
+    Accepts, in order of detection:
+
+    * a sweep directory (holds ``sweep.json``) — every manifest point;
+    * a runs root (children holding ``events.jsonl`` / ``run.json``);
+    * a single run directory (holds ``events.jsonl`` or ``run.json``).
+    """
+    path = Path(path)
+    now = time.time()
+    points: List[Dict[str, Any]] = []
+    manifest: Optional[Dict[str, Any]] = None
+    if (path / SWEEP_FILE).is_file():
+        kind = "sweep"
+        manifest = read_manifest(path)
+        runs_root = path / RUNS_SUBDIR
+        for entry in manifest.get("points", []):
+            name = entry["name"]
+            points.append(_point_snapshot(name, runs_root / name, entry))
+    elif (path / EVENTS_FILE).is_file() or (path / RUN_FILE).is_file():
+        kind = "run"
+        points.append(_point_snapshot(path.name, path))
+    elif path.is_dir():
+        kind = "runs"
+        for child in sorted(path.iterdir()):
+            if child.is_dir() and ((child / EVENTS_FILE).is_file()
+                                   or (child / RUN_FILE).is_file()):
+                points.append(_point_snapshot(child.name, child))
+        if not points:
+            raise FileNotFoundError(
+                f"{path}: no {SWEEP_FILE}, {EVENTS_FILE} or run "
+                "directories found — nothing to tail"
+            )
+    else:
+        raise FileNotFoundError(f"{path} is not a directory")
+
+    totals = {status: 0 for status in _STATUS_ORDER}
+    for point in points:
+        totals[point["status"]] = totals.get(point["status"], 0) + 1
+    started = [p["started_ts"] for p in points if p["started_ts"]]
+    last = [p["last_ts"] for p in points if p["last_ts"]]
+    elapsed = (max(last) - min(started)) if started and last else None
+
+    # ETA: serial-equivalent estimate — mean wall time of completed
+    # points, scaled by the unfinished fraction of the sweep.
+    done_times = [p["wall_time"] for p in points
+                  if p["status"] == "done"
+                  and isinstance(p["wall_time"], (int, float))]
+    eta = None
+    if done_times:
+        mean_wall = sum(done_times) / len(done_times)
+        remaining = sum(1.0 - _progress(p) for p in points
+                        if p["status"] != "done")
+        eta = round(mean_wall * remaining, 1)
+
+    return {
+        "kind": kind,
+        "path": str(path),
+        "generated_ts": round(now, 3),
+        "points": points,
+        "totals": totals,
+        "elapsed_s": round(elapsed, 1) if elapsed is not None else None,
+        "eta_s": eta,
+        "failures": (manifest or {}).get("failures", [
+            dict(p["failure"], point=p["name"]) for p in points
+            if p["failure"] is not None
+        ]),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+
+
+def sparkline(values: List[float], width: int = _SPARK_WIDTH) -> str:
+    """Unicode sparkline of the trailing ``width`` values."""
+    values = [float(v) for v in values][-width:]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _TICKS[4] * len(values)
+    scale = len(_TICKS) - 2
+    return "".join(
+        _TICKS[1 + int(round((v - lo) / span * scale))] for v in values
+    )
+
+
+def _fmt_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def _fmt_value(value: Any, digits: int = 4) -> str:
+    if isinstance(value, (int, float)):
+        return f"{value:.{digits}f}"
+    return "-"
+
+
+def _style(text: str, *names: str, color: bool = True) -> str:
+    if not color or not names:
+        return text
+    return "".join(_ANSI[name] for name in names) + text + _ANSI["reset"]
+
+
+def _point_progress_cell(point: Dict[str, Any]) -> str:
+    stage = point["stage"]
+    if point["status"] == "done":
+        return "done"
+    if stage is None:
+        return "-"
+    cell = str(stage)
+    total = len(point["stages"])
+    if isinstance(point["stage_index"], int) and total:
+        cell = f"{cell} {point['stages_done'] + 1}/{total}"
+    elif total:
+        cell = f"{cell} {min(point['stages_done'] + 1, total)}/{total}"
+    if point["epoch"] and point["epochs"]:
+        cell += f" ep {point['epoch']}/{point['epochs']}"
+    return cell
+
+
+def render_text(snap: Dict[str, Any], color: Optional[bool] = None) -> str:
+    """The terminal view of one :func:`snapshot` (ANSI when ``color``;
+    defaults to auto-detecting a TTY on stdout)."""
+    if color is None:
+        color = bool(getattr(sys.stdout, "isatty", lambda: False)())
+    totals = snap["totals"]
+    lines: List[str] = []
+    title = f"repro tail — {snap['kind']} {snap['path']}"
+    lines.append(_style(title, "bold", color=color))
+    summary = "  ".join(
+        _style(f"{totals.get(status, 0)} {status}",
+               _STATUS_STYLE[status][0], color=color)
+        for status in _STATUS_ORDER
+    )
+    clock = (f"elapsed {_fmt_duration(snap['elapsed_s'])}"
+             f"  eta {_fmt_duration(snap['eta_s'])}")
+    lines.append(f"{summary}  |  {clock}")
+    lines.append("")
+
+    name_width = max([len(p["name"]) for p in snap["points"]] + [5])
+    recipe_width = max(
+        [len(str(p["recipe"] or "-")) for p in snap["points"]] + [6]
+    )
+    for point in snap["points"]:
+        style_name, glyph = _STATUS_STYLE[point["status"]]
+        spark = sparkline(point["loss_history"])
+        accuracy = point["accuracy"]
+        if accuracy is None:
+            accuracy = point["test_accuracy"]
+        bits = [
+            _style(glyph, style_name, color=color),
+            point["name"].ljust(name_width),
+            str(point["recipe"] or "-").ljust(recipe_width),
+            _point_progress_cell(point).ljust(16),
+            (f"loss {spark} {_fmt_value(point['loss'])}"
+             if spark else "loss -").ljust(22 + _SPARK_WIDTH // 2),
+            f"acc {_fmt_value(accuracy)}",
+            f"wall {_fmt_duration(point['wall_time'])}",
+        ]
+        if point["epochs_per_s"]:
+            bits.append(f"{point['epochs_per_s']:.2f} ep/s")
+        if point["retries"]:
+            bits.append(_style(f"retries {len(point['retries'])}",
+                               "yellow", color=color))
+        if point["failure"] is not None:
+            bits.append(_style(
+                str(point["failure"].get("error_type") or "failed"),
+                "red", color=color))
+        lines.append("  ".join(bits).rstrip())
+
+    failures = snap.get("failures") or []
+    if failures:
+        lines.append("")
+        lines.append(_style("failures:", "bold", "red", color=color))
+        for failure in failures:
+            attempts = failure.get("attempts")
+            permanent = failure.get("permanent")
+            tag = "permanent" if permanent else f"{attempts} attempt(s)"
+            lines.append(
+                f"  {failure.get('point', '?')}: "
+                f"{failure.get('error_type', '?')} ({tag}) — "
+                f"{failure.get('message', '')}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_html(snap: Dict[str, Any]) -> str:
+    """A static, dependency-free HTML export of one :func:`snapshot`."""
+    totals = snap["totals"]
+    colors = {"done": "#2e7d32", "running": "#f9a825",
+              "failed": "#c62828", "pending": "#9e9e9e"}
+    rows = []
+    for point in snap["points"]:
+        accuracy = point["accuracy"]
+        if accuracy is None:
+            accuracy = point["test_accuracy"]
+        overrides = ", ".join(
+            f"{key}={value}" for key, value
+            in sorted((point.get("overrides") or {}).items())
+        )
+        failure = point["failure"] or {}
+        rows.append(
+            "<tr>"
+            f"<td style='color:{colors[point['status']]}'>"
+            f"{html.escape(point['status'])}</td>"
+            f"<td>{html.escape(point['name'])}</td>"
+            f"<td>{html.escape(str(point['recipe'] or '-'))}</td>"
+            f"<td>{html.escape(overrides)}</td>"
+            f"<td>{html.escape(_point_progress_cell(point))}</td>"
+            f"<td class='spark'>"
+            f"{html.escape(sparkline(point['loss_history']))}</td>"
+            f"<td>{html.escape(_fmt_value(point['loss']))}</td>"
+            f"<td class='spark'>"
+            f"{html.escape(sparkline(point['accuracy_history']))}</td>"
+            f"<td>{html.escape(_fmt_value(accuracy))}</td>"
+            f"<td>{html.escape(_fmt_duration(point['wall_time']))}</td>"
+            f"<td>{len(point['retries'])}</td>"
+            f"<td>{html.escape(str(failure.get('error_type') or ''))}"
+            "</td></tr>"
+        )
+    generated = time.strftime("%Y-%m-%d %H:%M:%S",
+                              time.localtime(snap["generated_ts"]))
+    summary = " · ".join(f"{totals.get(s, 0)} {s}" for s in _STATUS_ORDER)
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>repro tail — {html.escape(snap['path'])}</title>
+<style>
+ body {{ font-family: system-ui, sans-serif; margin: 2rem; }}
+ table {{ border-collapse: collapse; }}
+ th, td {{ padding: 0.3rem 0.7rem; border-bottom: 1px solid #ddd;
+           text-align: left; white-space: nowrap; }}
+ .spark {{ font-family: monospace; }}
+ .meta {{ color: #666; }}
+</style></head><body>
+<h1>repro tail — {html.escape(snap['kind'])} {html.escape(snap['path'])}</h1>
+<p class="meta">{summary} · elapsed {_fmt_duration(snap['elapsed_s'])}
+ · eta {_fmt_duration(snap['eta_s'])} · generated {generated}</p>
+<table><thead><tr>
+<th>status</th><th>point</th><th>recipe</th><th>overrides</th>
+<th>progress</th><th>loss</th><th></th><th>accuracy</th><th></th>
+<th>wall</th><th>retries</th><th>failure</th>
+</tr></thead><tbody>
+{"".join(rows)}
+</tbody></table>
+</body></html>
+"""
+
+
+def follow(path: Union[str, Path], interval: float = 1.0,
+           stream=None, iterations: Optional[int] = None) -> None:
+    """Redraw :func:`render_text` every ``interval`` seconds until the
+    sweep finishes (nothing pending/running) or Ctrl-C.  ``iterations``
+    bounds the loop for tests."""
+    stream = stream if stream is not None else sys.stdout
+    color = bool(getattr(stream, "isatty", lambda: False)())
+    count = 0
+    try:
+        while True:
+            snap = snapshot(path)
+            text = render_text(snap, color=color)
+            if color:
+                stream.write("\x1b[2J\x1b[H")  # clear + home
+            stream.write(text)
+            stream.flush()
+            count += 1
+            active = (snap["totals"].get("running", 0)
+                      + snap["totals"].get("pending", 0))
+            if iterations is not None and count >= iterations:
+                return
+            if active == 0:
+                return
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        pass

@@ -63,13 +63,27 @@ class EventLog:
         return cls(None)
 
     def emit(self, event: str, **fields: Any) -> None:
-        """Append one event line (no-op after close / for null logs)."""
+        """Append one event line (no-op after close / for null logs).
+
+        A failing sink — disk full, a handle something closed under us,
+        a vanished mount — drops the event and disables the log rather
+        than raising: the stream is observability, and observability
+        must never take the emitting run down.
+        """
         if self._fh is None:
             return
         record = {"ts": round(time.time(), 3), "event": event, **fields}
-        self._fh.write(json.dumps(record, sort_keys=True,
-                                  default=_json_default) + "\n")
-        self._fh.flush()
+        line = json.dumps(record, sort_keys=True,
+                          default=_json_default) + "\n"
+        try:
+            self._fh.write(line)
+            self._fh.flush()
+        except (OSError, ValueError):  # ValueError: write to closed file
+            try:
+                self._fh.close()
+            except (OSError, ValueError):
+                pass
+            self._fh = None
 
     def close(self) -> None:
         if self._fh is not None:

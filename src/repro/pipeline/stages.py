@@ -125,7 +125,8 @@ class RunContext:
         check_interrupt(f"interrupted before stage {stage.name!r}")
         self._pending_metrics = {}
         index = len(self.stage_records)
-        self.events.emit("stage_begin", stage=stage.name, index=index)
+        self.events.emit("stage_begin", stage=stage.name, index=index,
+                         params=stage.params())
         start = time.time()
         result = stage.run(self)
         ctx = self if result is None else result

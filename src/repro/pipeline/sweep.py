@@ -86,6 +86,7 @@ __all__ = [
     "load_sweep_spec",
     "expand_points",
     "parse_faults",
+    "read_manifest",
     "run_sweep_dir",
     "format_sweep",
 ]
@@ -413,7 +414,11 @@ def _write_manifest(sweep_dir: Path, manifest: Dict[str, Any]) -> None:
     os.replace(tmp, sweep_dir / SWEEP_FILE)
 
 
-def _read_manifest(sweep_dir: Path) -> Dict[str, Any]:
+def read_manifest(sweep_dir: Union[str, Path]) -> Dict[str, Any]:
+    """Load and format-check ``<sweep_dir>/sweep.json`` (the consumers:
+    ``--resume``, :func:`format_sweep`, and the ``repro tail``
+    dashboard)."""
+    sweep_dir = Path(sweep_dir)
     path = sweep_dir / SWEEP_FILE
     if not path.is_file():
         raise FileNotFoundError(
@@ -427,6 +432,10 @@ def _read_manifest(sweep_dir: Path) -> Dict[str, Any]:
         raise ValueError(f"{path}: unsupported sweep version "
                          f"{manifest.get('version')!r}")
     return manifest
+
+
+# Backwards-compatible internal alias (pre-dates the public reader).
+_read_manifest = read_manifest
 
 
 def run_sweep_dir(

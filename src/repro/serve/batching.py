@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from .errors import DeadlineExceeded
 from .workers import REQUEST_KINDS
 
@@ -107,7 +108,8 @@ class MicroBatcher:
     """
 
     def __init__(self, pool, loop: asyncio.AbstractEventLoop,
-                 max_batch: int = 32, max_delay: float = 0.002) -> None:
+                 max_batch: int = 32, max_delay: float = 0.002,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_delay < 0:
@@ -120,7 +122,38 @@ class MicroBatcher:
         self._lock = threading.Lock()
         self._pending: Dict[tuple, List[_Pending]] = {}
         self._timers: Dict[tuple, object] = {}
+        self._born: Dict[tuple, float] = {}
         self._closed = False
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_requests = metrics.counter(
+                "repro_batcher_requests_total",
+                "Single-sample requests accepted by the micro-batcher.")
+            self._m_expired = metrics.counter(
+                "repro_batcher_expired_total",
+                "Requests whose deadline passed while queued for "
+                "batching.")
+            self._m_flushes = metrics.counter(
+                "repro_batcher_flushes_total",
+                "Coalesced batch flushes by trigger.",
+                labelnames=("reason",))
+            self._m_batch_size = metrics.histogram(
+                "repro_batcher_batch_size",
+                "Rows per coalesced engine batch.",
+                buckets=DEFAULT_SIZE_BUCKETS)
+            self._m_flush_latency = metrics.histogram(
+                "repro_batcher_flush_latency_seconds",
+                "Seconds between a group's first enqueue and its flush.")
+            self._m_queue_depth = metrics.gauge(
+                "repro_batcher_queue_depth",
+                "Requests currently waiting to be coalesced.")
+            metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time gauge refresh (collector callback)."""
+        with self._lock:
+            depth = sum(len(g) for g in self._pending.values())
+        self._m_queue_depth.set(depth)
 
     # ------------------------------------------------------------------
     # Hot path (any thread)
@@ -150,6 +183,8 @@ class MicroBatcher:
         future: Future = Future()
         if deadline is not None and deadline <= time.monotonic():
             self.stats.expired += 1
+            if self._metrics is not None:
+                self._m_expired.inc()
             future.set_exception(DeadlineExceeded(
                 "deadline expired before the request was enqueued"
             ))
@@ -162,11 +197,17 @@ class MicroBatcher:
             group = self._pending.setdefault(key, [])
             group.append((sample, future, deadline))
             self.stats.requests += 1
+            if len(group) == 1:
+                self._born[key] = time.monotonic()
             if len(group) >= self.max_batch:
                 self.stats.full_flushes += 1
                 flush_now = self._take(key)
             elif len(group) == 1:
                 self.loop.call_soon_threadsafe(self._arm_timer, key)
+        if self._metrics is not None:
+            self._m_requests.inc()
+            if flush_now is not None:
+                self._m_flushes.inc(reason="full")
         if deadline is not None:
             self.loop.call_soon_threadsafe(self._arm_expiry, key, deadline)
         if flush_now is not None:
@@ -200,6 +241,8 @@ class MicroBatcher:
             if taken is not None:
                 self.stats.timer_flushes += 1
         if taken is not None:
+            if self._metrics is not None:
+                self._m_flushes.inc(reason="timer")
             self._dispatch(key[0], taken)
 
     def _arm_expiry(self, key: tuple, deadline: float) -> None:
@@ -228,9 +271,12 @@ class MicroBatcher:
                 self._pending[key] = live
             else:
                 self._pending.pop(key)
+                self._born.pop(key, None)
                 timer = self._timers.pop(key, None)
                 if timer is not None:
                     timer.cancel()
+        if self._metrics is not None:
+            self._m_expired.inc(len(expired))
         for _, future, _ in expired:
             try:
                 future.set_exception(DeadlineExceeded(
@@ -249,6 +295,11 @@ class MicroBatcher:
         self.stats.rows += len(group)
         self.stats.max_batch_seen = max(self.stats.max_batch_seen,
                                         len(group))
+        born = self._born.pop(key, None)
+        if self._metrics is not None:
+            self._m_batch_size.observe(len(group))
+            if born is not None:
+                self._m_flush_latency.observe(time.monotonic() - born)
         timer = self._timers.pop(key, None)
         if timer is not None:
             # Cancelling from a foreign thread is safe for a handle that
@@ -280,6 +331,8 @@ class MicroBatcher:
         if expired:
             with self._lock:
                 self.stats.expired += len(expired)
+            if self._metrics is not None:
+                self._m_expired.inc(len(expired))
             for _, future, _ in expired:
                 _resolve(future, None, DeadlineExceeded(
                     "deadline expired while queued for batching"
@@ -329,6 +382,8 @@ class MicroBatcher:
                 (key[0], self._take(key)) for key in list(self._pending)
             ]
             self.stats.drain_flushes += len(taken)
+        if self._metrics is not None and taken:
+            self._m_flushes.inc(len(taken), reason="drain")
         for kind, group in taken:
             self._dispatch(kind, group)
 

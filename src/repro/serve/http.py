@@ -10,6 +10,8 @@ Endpoints
 ``GET  /healthz``        health model (``ok``/``degraded``/``unhealthy``/
                          ``draining``) + per-shard state + counters;
                          HTTP 200 while traffic is served, 503 otherwise
+``GET  /metrics``        Prometheus text exposition of the deployment's
+                         metrics registry (see :mod:`repro.obs.metrics`)
 ``GET  /v1/model``       artifact + deployment description
 ``POST /v1/predict``     ``{"inputs": <2-D sample or 3-D batch>}`` -> labels
 ``POST /v1/logits``      same request shape -> per-class logits
@@ -149,6 +151,14 @@ class _Handler(BaseHTTPRequestHandler):
             status = 200 if health.get("status") in ("ok", "degraded") \
                 else 503
             self._send_json(status, health)
+        elif self.path == "/metrics":
+            app = self._app()
+            body = app.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", app.metrics.content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         elif self.path == "/v1/model":
             self._send_json(200, self._app().info())
         else:

@@ -38,8 +38,9 @@ from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
 from .batching import MicroBatcher
-from .errors import Draining, Overloaded
+from .errors import DeadlineExceeded, Draining, Overloaded
 from .faults import FaultPlan
 from .store import resolve_artifact
 from .workers import REQUEST_KINDS, ShardedPool
@@ -223,6 +224,55 @@ class Server:
         self._draining = False
         self._inflight = 0
         self._lock = threading.Lock()
+        # Admission/deadline tallies (mirrored into both the metrics
+        # registry and the merged stats()["counters"] dict).
+        self._admitted = 0
+        self._rejected_overloaded = 0
+        self._rejected_draining = 0
+        self._deadline_expired = 0
+        # Per-deployment registry: two Servers in one process must never
+        # double-count, so each owns its own (the pool and batcher
+        # register their instruments here in start()).
+        self.metrics = MetricsRegistry()
+        self._m_requests = self.metrics.counter(
+            "repro_server_requests_total",
+            "Requests admitted past admission control, by kind.",
+            labelnames=("kind",))
+        self._m_rejects = self.metrics.counter(
+            "repro_server_admission_rejects_total",
+            "Requests refused at admission, by reason (overloaded -> "
+            "HTTP 429, draining -> HTTP 503).",
+            labelnames=("reason",))
+        self._m_deadline = self.metrics.counter(
+            "repro_server_deadline_expired_total",
+            "Requests that failed with DeadlineExceeded (HTTP 504).")
+        self._m_latency = self.metrics.histogram(
+            "repro_server_request_latency_seconds",
+            "End-to-end request latency (admission to resolution), by "
+            "kind.", labelnames=("kind",))
+        self._m_inflight = self.metrics.gauge(
+            "repro_server_inflight",
+            "Admitted requests not yet resolved.")
+        self._m_cache_hits = self.metrics.counter(
+            "repro_cache_hits_total", "Result-cache hits.")
+        self._m_cache_misses = self.metrics.counter(
+            "repro_cache_misses_total", "Result-cache misses.")
+        self._m_cache_size = self.metrics.gauge(
+            "repro_cache_entries", "Rows currently in the result cache.")
+        self.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time refresh of admission occupancy and cache tallies
+        (collector callback)."""
+        with self._lock:
+            inflight = self._inflight
+            cache = self._cache
+        self._m_inflight.set(inflight)
+        if cache is not None:
+            snap = cache.stats()
+            self._m_cache_hits.set_to(snap["hits"])
+            self._m_cache_misses.set_to(snap["misses"])
+            self._m_cache_size.set(snap["size"])
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -247,6 +297,7 @@ class Server:
                 faults=cfg.resolved_faults(),
                 max_retries=cfg.max_retries,
                 max_restarts=cfg.max_restarts,
+                metrics=self.metrics,
             )
             self._cache = (
                 ResultCache(cfg.cache_size) if cfg.cache_size > 0 else None
@@ -260,6 +311,7 @@ class Server:
             self._batcher = MicroBatcher(
                 self._pool, self._loop,
                 max_batch=cfg.max_batch, max_delay=cfg.max_delay,
+                metrics=self.metrics,
             )
             self._started = True
         return self
@@ -357,17 +409,24 @@ class Server:
         self.start()
         with self._lock:
             if self._draining:
+                self._rejected_draining += 1
+                self._m_rejects.inc(reason="draining")
                 raise Draining(
                     "server is draining and refuses new requests"
                 )
             limit = self.config.max_inflight
             if limit is not None and self._inflight >= limit:
+                self._rejected_overloaded += 1
+                self._m_rejects.inc(reason="overloaded")
                 raise Overloaded(
                     f"admission window full ({self._inflight} >= "
                     f"max_inflight={limit})",
                     retry_after=max(0.05, 4 * self.config.max_delay),
                 )
             self._inflight += 1
+            self._admitted += 1
+        self._m_requests.inc(kind=kind)
+        admitted_at = time.monotonic()
         batcher = self._batcher  # stop() may null the attribute anytime
         if batcher is None:
             with self._lock:
@@ -382,9 +441,19 @@ class Server:
             if deadline_ms is not None else None
         )
 
-        def _admit_done(_future) -> None:
+        def _admit_done(done) -> None:
             with self._lock:
                 self._inflight -= 1
+            self._m_latency.observe(time.monotonic() - admitted_at,
+                                    kind=kind)
+            try:
+                exc = done.exception()
+            except BaseException:  # noqa: BLE001 — cancelled future
+                return
+            if isinstance(exc, DeadlineExceeded):
+                with self._lock:
+                    self._deadline_expired += 1
+                self._m_deadline.inc()
 
         try:
             future = self._submit_inner(batcher, kind, sample, deadline)
@@ -515,16 +584,53 @@ class Server:
         return info
 
     def stats(self) -> Dict[str, Any]:
-        if not self._started:
-            return {"started": False}
-        stats: Dict[str, Any] = {
-            "started": True,
-            "batcher": self._batcher.stats.as_dict(),
-            "pool": self._pool.stats(),
+        """One JSON-safe snapshot with a fixed shape: ``started``,
+        ``batcher`` / ``pool`` / ``cache`` sub-dicts (``None`` before
+        :meth:`start`, and for ``cache`` when caching is off), plus a
+        merged flat ``counters`` dict — the admission, batcher, cache
+        and supervision tallies in one place.
+        """
+        with self._lock:
+            started = self._started
+            batcher, pool, cache = self._batcher, self._pool, self._cache
+            inflight = self._inflight
+            admitted = self._admitted
+            rejected_overloaded = self._rejected_overloaded
+            rejected_draining = self._rejected_draining
+            deadline_expired = self._deadline_expired
+        batcher_stats = batcher.stats.as_dict() if batcher else None
+        pool_stats = pool.stats() if pool else None
+        cache_stats = cache.stats() if cache else None
+        counters: Dict[str, Any] = {
+            # "requests" counts admission (cache hits included);
+            # "batched" only what reached the micro-batcher.
+            "requests": admitted,
+            "batched": batcher_stats["requests"] if batcher_stats else 0,
+            "batches": batcher_stats["batches"] if batcher_stats else 0,
+            "expired": batcher_stats["expired"] if batcher_stats else 0,
+            "cache_hits": cache_stats["hits"] if cache_stats else 0,
+            "cache_misses": cache_stats["misses"] if cache_stats else 0,
+            "failures": pool_stats["failures"] if pool_stats else 0,
+            "retries": pool_stats["retries"] if pool_stats else 0,
+            "restarts": sum(pool_stats["restarts"]) if pool_stats else 0,
+            "rejected_overloaded": rejected_overloaded,
+            "rejected_draining": rejected_draining,
+            "deadline_expired": deadline_expired,
+            "inflight": inflight,
         }
-        if self._cache is not None:
-            stats["cache"] = self._cache.stats()
-        return stats
+        return {
+            "started": started,
+            "batcher": batcher_stats,
+            "pool": pool_stats,
+            "cache": cache_stats,
+            "counters": counters,
+        }
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of this deployment — what
+        ``GET /metrics`` serves (content type
+        ``server.metrics.content_type``)."""
+        return self.metrics.render()
 
     def health(self) -> Dict[str, Any]:
         """The ``/healthz`` payload: overall ``status`` (``ok`` /

@@ -62,10 +62,11 @@ from concurrent.futures import (
     ThreadPoolExecutor,
 )
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
 from .errors import DeadlineExceeded, NoHealthyShards, ShardCrash
 from .faults import FaultPlan, ShardFaultState, kill_process
 
@@ -176,6 +177,7 @@ class ShardedPool:
         max_restarts: int = 2,
         backoff_base: float = 0.05,
         backoff_cap: float = 1.0,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if backend not in _BACKENDS:
             raise ValueError(
@@ -225,6 +227,54 @@ class ShardedPool:
             plan = faults if faults else None
             executor, run = self._build_worker(index, plan)
             self._shards.append(_Shard(index, executor, run, plan))
+
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_failures = metrics.counter(
+                "repro_pool_failures_total",
+                "Fatal shard failures (worker death) observed.")
+            self._m_retries = metrics.counter(
+                "repro_pool_retries_total",
+                "Batches re-dispatched after a fatal shard failure.")
+            self._m_dispatched = metrics.counter(
+                "repro_pool_dispatched_total",
+                "Batches dispatched, by shard.", labelnames=("shard",))
+            self._m_restarts = metrics.counter(
+                "repro_pool_shard_restarts_total",
+                "Shard respawns, by shard.", labelnames=("shard",))
+            self._m_state = metrics.gauge(
+                "repro_pool_shard_state",
+                "Supervision state per shard (1 on the current state).",
+                labelnames=("shard", "state"))
+            self._m_inflight = metrics.gauge(
+                "repro_pool_shard_inflight",
+                "Batches in flight, by shard.", labelnames=("shard",))
+            self._m_quarantined = metrics.gauge(
+                "repro_pool_quarantined_shards",
+                "Shards currently quarantined.")
+            metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time refresh: mirror the supervision tallies the pool
+        already keeps (collector callback — the dispatch hot path pays
+        nothing for metrics freshness)."""
+        with self._lock:
+            rows = [(s.index, s.state, s.inflight, s.dispatched, s.restarts)
+                    for s in self._shards]
+            failures, retries = self.failures, self.retries
+        self._m_failures.set_to(failures)
+        self._m_retries.set_to(retries)
+        quarantined = 0
+        for index, state, inflight, dispatched, restarts in rows:
+            shard = str(index)
+            self._m_dispatched.set_to(dispatched, shard=shard)
+            self._m_restarts.set_to(restarts, shard=shard)
+            self._m_inflight.set(inflight, shard=shard)
+            for name in SHARD_STATES:
+                self._m_state.set(1.0 if name == state else 0.0,
+                                  shard=shard, state=name)
+            quarantined += state == "quarantined"
+        self._m_quarantined.set(quarantined)
 
     # ------------------------------------------------------------------
     # Worker construction (initial build and respawn share this)
@@ -480,7 +530,10 @@ class ShardedPool:
     # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, object]:
+    def stats(self) -> Dict[str, Any]:
+        """Structured snapshot of the pool (same shape contract as
+        :meth:`Server.stats`: a plain ``Dict[str, Any]`` of JSON-safe
+        values)."""
         with self._lock:
             return {
                 "shards": self.shards,
@@ -494,7 +547,7 @@ class ShardedPool:
                 "retries": self.retries,
             }
 
-    def health(self) -> Dict[str, object]:
+    def health(self) -> Dict[str, Any]:
         """The routing signal: ``ok`` (every shard healthy),
         ``degraded`` (at least one shard down or catching up, traffic
         still served) or ``unhealthy`` (every shard quarantined)."""

@@ -1,0 +1,213 @@
+"""Metrics-core tests: instruments, registry, exposition round trip."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labels_create_children(self):
+        counter = Counter("c_total", labelnames=("kind",))
+        counter.inc(kind="predict")
+        counter.inc(3, kind="logits")
+        assert counter.value(kind="predict") == 1
+        assert counter.value(kind="logits") == 3
+        assert counter.value(kind="unseen") == 0
+
+    def test_negative_inc_rejected(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter("c_total").inc(-1)
+
+    def test_set_to_never_moves_down(self):
+        counter = Counter("c_total")
+        counter.set_to(10)
+        counter.set_to(4)  # mirrored source can't rewind the metric
+        assert counter.value() == 10
+        counter.set_to(12)
+        assert counter.value() == 12
+
+    def test_wrong_labels_rejected(self):
+        counter = Counter("c_total", labelnames=("kind",))
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc(shard="0")
+        with pytest.raises(ValueError, match="takes labels"):
+            counter.inc()
+
+    def test_monotonic_under_concurrent_load(self):
+        # N threads x M increments must land exactly N*M with renders
+        # racing the writers (the acceptance concern: /metrics scrapes
+        # while the serving hot path increments).
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", labelnames=("kind",))
+        threads, increments = 8, 2000
+        seen = []
+
+        def bump():
+            for _ in range(increments):
+                counter.inc(kind="load")
+
+        def scrape():
+            for _ in range(50):
+                samples = parse_prometheus(registry.render())
+                seen.append(samples["c_total"]["samples"]
+                            .get('c_total{kind="load"}', 0))
+
+        workers = [threading.Thread(target=bump) for _ in range(threads)]
+        workers.append(threading.Thread(target=scrape))
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert counter.value(kind="load") == threads * increments
+        # Every mid-flight scrape saw a monotonically consistent value.
+        assert seen == sorted(seen)
+        assert all(0 <= value <= threads * increments for value in seen)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6
+
+    def test_clear_forgets_children(self):
+        gauge = Gauge("g", labelnames=("shard",))
+        gauge.set(1, shard="0")
+        gauge.set(1, shard="1")
+        gauge.clear()
+        gauge.set(1, shard="0")
+        assert len(gauge.samples()) == 1
+
+
+class TestHistogram:
+    def test_bucket_sums_are_cumulative(self):
+        histogram = Histogram("h_seconds", buckets=(1, 2, 4))
+        for value in (0.5, 1.5, 1.7, 3.0, 100.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(106.7)
+        assert snap["buckets"] == {"1": 1, "2": 3, "4": 4, "+Inf": 5}
+
+    def test_boundary_value_lands_in_le_bucket(self):
+        histogram = Histogram("h", buckets=(1, 2))
+        histogram.observe(1.0)  # le="1" is inclusive, Prometheus-style
+        assert histogram.snapshot()["buckets"]["1"] == 1
+
+    def test_rendered_inf_bucket_equals_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds",
+                                       buckets=DEFAULT_SIZE_BUCKETS)
+        for value in (0.1, 3, 7, 1000):
+            histogram.observe(value)
+        samples = parse_prometheus(registry.render())["h_seconds"]
+        flat = samples["samples"]
+        assert flat['h_seconds_bucket{le="+Inf"}'] == flat["h_seconds_count"]
+        assert flat["h_seconds_sum"] == pytest.approx(1010.1)
+        # Cumulative counts never decrease across ascending bounds.
+        bounds = [key for key in flat if key.startswith("h_seconds_bucket")]
+        counts = [flat[key] for key in bounds]
+        assert counts == sorted(counts)
+
+    def test_needs_finite_buckets(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError, match="finite"):
+            Histogram("h", buckets=(1.0, float("inf")))
+
+
+class TestRegistry:
+    def test_registration_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", labelnames=("kind",))
+        again = registry.counter("c_total", labelnames=("kind",))
+        assert first is again
+
+    def test_kind_or_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labelnames=("kind",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("c_total", labelnames=("kind",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("c_total", labelnames=("shard",))
+
+    def test_collectors_refresh_on_scrape(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        source = {"depth": 0}
+        registry.add_collector(lambda: gauge.set(source["depth"]))
+        source["depth"] = 7
+        assert registry.as_dict()["depth"] == 7
+        source["depth"] = 2
+        assert 'depth 2' in registry.render()
+
+    def test_raising_collector_does_not_kill_scrape(self):
+        registry = MetricsRegistry()
+        registry.counter("ok_total").inc()
+
+        def explode():
+            raise RuntimeError("scrape-time bug")
+
+        registry.add_collector(explode)
+        assert "ok_total 1" in registry.render()
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            MetricsRegistry().counter("bad name")
+        with pytest.raises(ValueError, match="reserved"):
+            MetricsRegistry().counter("c_total", labelnames=("le",))
+
+
+class TestExpositionRoundTrip:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        requests = registry.counter("repro_requests_total",
+                                    "Requests by kind.", ("kind",))
+        requests.inc(3, kind="predict")
+        requests.inc(kind="logits")
+        registry.gauge("repro_inflight", "In flight now.").set(2)
+        latency = registry.histogram("repro_latency_seconds",
+                                     "Latency.", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.5, 5.0):
+            latency.observe(value)
+        odd = registry.gauge("repro_odd", labelnames=("tag",))
+        odd.set(1, tag='quo"te\\slash\nline')
+        return registry
+
+    def test_render_parse_round_trip(self):
+        registry = self._populated()
+        text = registry.render()
+        parsed = parse_prometheus(text)
+        assert parsed["repro_requests_total"]["type"] == "counter"
+        assert parsed["repro_requests_total"]["help"] == "Requests by kind."
+        assert parsed["repro_latency_seconds"]["type"] == "histogram"
+        # Every sample the renderer emitted comes back, same values.
+        flat = {}
+        for metric in parsed.values():
+            flat.update(metric["samples"])
+        assert flat == registry.as_dict()
+
+    def test_integral_values_render_without_point(self):
+        registry = self._populated()
+        assert "repro_requests_total{kind=\"predict\"} 3\n" in \
+            registry.render()
+
+    def test_content_type_is_prometheus_text(self):
+        assert "version=0.0.4" in MetricsRegistry().content_type

@@ -1,0 +1,191 @@
+"""Dashboard tests: snapshot folding and text/HTML rendering."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.tail import follow, render_html, render_text, snapshot, \
+    sparkline
+from repro.pipeline.events import EVENTS_FILE, EventLog
+from repro.pipeline.runs import RUN_FILE
+from repro.pipeline.sweep import (
+    RUNS_SUBDIR,
+    SWEEP_FILE,
+    SWEEP_FORMAT,
+    SWEEP_FORMAT_VERSION,
+)
+
+
+def _emit(path, *events):
+    with EventLog(path / EVENTS_FILE) as log:
+        for event, fields in events:
+            log.emit(event, **fields)
+
+
+def _make_sweep(tmp_path):
+    """A mid-flight synthetic sweep: one done, one running with a retry,
+    one failed, one untouched."""
+    sweep = tmp_path / "sweep"
+    runs = sweep / RUNS_SUBDIR
+    points = []
+    for index, (name, recipe, status) in enumerate([
+        ("p000-baseline", "baseline", "done"),
+        ("p001-ours_a", "ours_a", "running"),
+        ("p002-ours_b", "ours_b", "failed"),
+        ("p003-ours_c", "ours_c", "pending"),
+    ]):
+        points.append({"index": index, "name": name, "recipe": recipe,
+                       "overrides": {"roughness_p": index / 10},
+                       "status": status, "attempts": 1})
+        (runs / name).mkdir(parents=True)
+    sweep.mkdir(exist_ok=True)
+    (sweep / SWEEP_FILE).write_text(json.dumps({
+        "format": SWEEP_FORMAT, "version": SWEEP_FORMAT_VERSION,
+        "points": points,
+        "failures": [{"point": "p002-ours_b", "index": 2,
+                      "error_type": "WorkerCrash", "message": "SIGKILL",
+                      "attempts": 3, "permanent": True}],
+    }))
+
+    done = runs / "p000-baseline"
+    _emit(done,
+          ("run_begin", {"recipe": "baseline",
+                         "stages": ["train", "score"]}),
+          ("stage_begin", {"stage": "train", "index": 0}),
+          ("epoch", {"stage": "train", "epoch": 1, "epochs": 2,
+                     "loss": 0.9, "test_accuracy": 0.5}),
+          ("epoch", {"stage": "train", "epoch": 2, "epochs": 2,
+                     "loss": 0.4, "test_accuracy": 0.8}),
+          ("stage_end", {"stage": "train", "index": 0, "wall_time": 3.0}),
+          ("stage_begin", {"stage": "score", "index": 1}),
+          ("stage_end", {"stage": "score", "index": 1, "wall_time": 1.0}),
+          ("run_end", {"recipe": "baseline", "accuracy": 0.8,
+                       "wall_time": 4.0}))
+    (done / RUN_FILE).write_text("{}")  # presence marks completion
+
+    _emit(runs / "p001-ours_a",
+          ("point_retry", {"error_type": "WorkerCrash", "message": "boom",
+                           "attempt": 1, "delay": 0.1}),
+          ("run_begin", {"recipe": "ours_a",
+                         "stages": ["train", "sparsify", "score"]}),
+          ("stage_begin", {"stage": "train", "index": 0}),
+          ("epoch", {"stage": "train", "epoch": 1, "epochs": 4,
+                     "loss": 1.2, "test_accuracy": 0.3}),
+          ("epoch", {"stage": "train", "epoch": 2, "epochs": 4,
+                     "loss": 0.8, "test_accuracy": 0.5}))
+
+    _emit(runs / "p002-ours_b",
+          ("run_begin", {"recipe": "ours_b", "stages": ["train"]}),
+          ("point_failed", {"error_type": "WorkerCrash",
+                            "message": "SIGKILL", "attempts": 3,
+                            "permanent": True}))
+    return sweep
+
+
+class TestSnapshot:
+    def test_sweep_statuses_and_totals(self, tmp_path):
+        snap = snapshot(_make_sweep(tmp_path))
+        assert snap["kind"] == "sweep"
+        by_name = {p["name"]: p for p in snap["points"]}
+        assert by_name["p000-baseline"]["status"] == "done"
+        assert by_name["p001-ours_a"]["status"] == "running"
+        assert by_name["p002-ours_b"]["status"] == "failed"
+        assert by_name["p003-ours_c"]["status"] == "pending"
+        assert snap["totals"] == {"running": 1, "failed": 1,
+                                  "pending": 1, "done": 1}
+
+    def test_running_point_progress_fields(self, tmp_path):
+        snap = snapshot(_make_sweep(tmp_path))
+        running = next(p for p in snap["points"]
+                       if p["name"] == "p001-ours_a")
+        assert running["stage"] == "train"
+        assert running["epoch"] == 2 and running["epochs"] == 4
+        assert running["loss_history"] == [1.2, 0.8]
+        assert len(running["retries"]) == 1
+        assert running["retries"][0]["error_type"] == "WorkerCrash"
+
+    def test_eta_from_done_points(self, tmp_path):
+        snap = snapshot(_make_sweep(tmp_path))
+        # One done point (wall 4.0s) scales the unfinished remainder.
+        assert snap["eta_s"] is not None and snap["eta_s"] > 0
+
+    def test_failures_surface_from_manifest(self, tmp_path):
+        snap = snapshot(_make_sweep(tmp_path))
+        assert snap["failures"][0]["point"] == "p002-ours_b"
+        assert snap["failures"][0]["error_type"] == "WorkerCrash"
+
+    def test_single_run_dir(self, tmp_path):
+        sweep = _make_sweep(tmp_path)
+        run_dir = sweep / RUNS_SUBDIR / "p001-ours_a"
+        snap = snapshot(run_dir)
+        assert snap["kind"] == "run"
+        assert snap["points"][0]["status"] == "running"
+
+    def test_runs_root_without_manifest(self, tmp_path):
+        sweep = _make_sweep(tmp_path)
+        snap = snapshot(sweep / RUNS_SUBDIR)
+        assert snap["kind"] == "runs"
+        # Without a manifest the event stream decides the status.
+        by_name = {p["name"]: p for p in snap["points"]}
+        assert by_name["p000-baseline"]["status"] == "done"
+        assert by_name["p002-ours_b"]["status"] == "failed"
+
+    def test_run_json_beats_stale_manifest_status(self, tmp_path):
+        sweep = _make_sweep(tmp_path)
+        manifest = json.loads((sweep / SWEEP_FILE).read_text())
+        manifest["points"][0]["status"] = "running"  # stale
+        (sweep / SWEEP_FILE).write_text(json.dumps(manifest))
+        snap = snapshot(sweep)
+        assert snap["points"][0]["status"] == "done"
+
+    def test_nothing_to_tail_raises(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(FileNotFoundError, match="nothing to tail"):
+            snapshot(empty)
+        with pytest.raises(FileNotFoundError):
+            snapshot(tmp_path / "missing")
+
+
+class TestRendering:
+    def test_sparkline_shape(self):
+        assert sparkline([]) == ""
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+        assert sparkline([5.0, 5.0]) == "▄▄"
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_text_render_plain(self, tmp_path):
+        text = render_text(snapshot(_make_sweep(tmp_path)), color=False)
+        assert "\x1b[" not in text  # color off: no ANSI codes
+        for needle in ("p000-baseline", "p001-ours_a", "WorkerCrash",
+                       "1 running", "1 failed", "ep 2/4"):
+            assert needle in text
+
+    def test_text_render_color(self, tmp_path):
+        text = render_text(snapshot(_make_sweep(tmp_path)), color=True)
+        assert "\x1b[32m" in text  # green for done
+
+    def test_html_render(self, tmp_path):
+        page = render_html(snapshot(_make_sweep(tmp_path)))
+        assert page.startswith("<!DOCTYPE html>")
+        for needle in ("p002-ours_b", "WorkerCrash", "roughness_p=0.1"):
+            assert needle in page
+
+    def test_follow_bounded_iterations(self, tmp_path):
+        stream = io.StringIO()
+        follow(_make_sweep(tmp_path), interval=0.0, stream=stream,
+               iterations=2)
+        assert stream.getvalue().count("repro tail") == 2
+
+    def test_follow_stops_when_nothing_active(self, tmp_path):
+        sweep = _make_sweep(tmp_path)
+        manifest = json.loads((sweep / SWEEP_FILE).read_text())
+        for point in manifest["points"]:
+            point["status"] = "failed"
+        (sweep / SWEEP_FILE).write_text(json.dumps(manifest))
+        stream = io.StringIO()
+        follow(sweep, interval=0.0, stream=stream)  # must return
+        assert stream.getvalue().count("repro tail") == 1

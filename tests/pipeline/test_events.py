@@ -84,3 +84,35 @@ class TestEventLog:
         log.close()
         log.emit("two")
         assert [e["event"] for e in read_events(path)] == ["one"]
+
+    def test_failing_sink_drops_event_not_run(self, tmp_path):
+        # Something closes the handle under the log (disk full behaves
+        # the same via OSError): emit must swallow it, disable the log,
+        # and never raise — observability must not take the run down.
+        path = tmp_path / EVENTS_FILE
+        log = EventLog(path)
+        log.emit("before")
+        log._fh.close()  # simulate the handle dying under us
+        log.emit("during")  # must not raise
+        assert log._fh is None  # log disabled, not retried per event
+        log.emit("after")  # still a no-op
+        log.close()
+        assert [e["event"] for e in read_events(path)] == ["before"]
+
+    def test_oserror_on_write_drops_event(self, tmp_path):
+        path = tmp_path / EVENTS_FILE
+        log = EventLog(path)
+
+        class FailingHandle:
+            def write(self, line):
+                raise OSError(28, "No space left on device")
+
+            def flush(self):
+                pass
+
+            def close(self):
+                pass
+
+        log._fh = FailingHandle()
+        log.emit("lost")  # must not raise
+        assert log._fh is None

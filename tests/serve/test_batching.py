@@ -141,7 +141,9 @@ class TestFlushPolicy:
         server.stop()  # must flush, not strand, the waiting group
         served = np.stack([f.result(timeout=10) for f in futures])
         assert np.array_equal(served, model.predict(images[:3]))
-        assert server.stats() == {"started": False}
+        stats = server.stats()
+        assert stats["started"] is False
+        assert stats["batcher"] is None and stats["pool"] is None
 
 
 class TestValidation:

@@ -1,0 +1,144 @@
+"""/metrics exposition: served text consistent with stats() ground truth
+under load and under fault injection."""
+
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.autodiff.rng import spawn_rng
+from repro.donn import DONN, DONNConfig
+from repro.obs.metrics import parse_prometheus
+from repro.serve import ServeConfig, Server
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DONN(DONNConfig.laptop(n=16), rng=spawn_rng(0))
+
+
+@pytest.fixture(scope="module")
+def images():
+    return spawn_rng(1).random((12, 28, 28))
+
+
+def _flat_samples(text):
+    flat = {}
+    for metric in parse_prometheus(text).values():
+        flat.update(metric["samples"])
+    return flat
+
+
+class TestMetricsUnderLoad:
+    def test_counters_match_stats_ground_truth(self, model, images):
+        config = ServeConfig(max_batch=4, max_delay=0.005, cache_size=32)
+        with Server(model=model, config=config) as server:
+            for _ in range(2):  # second pass: pure cache hits
+                for sample in images:
+                    server.submit("predict", sample).result()
+            stats = server.stats()
+            flat = _flat_samples(server.metrics_text())
+        counters = stats["counters"]
+        assert counters["requests"] == 2 * len(images)
+        assert flat['repro_server_requests_total{kind="predict"}'] == \
+            counters["requests"]
+        assert flat['repro_server_request_latency_seconds_count'
+                    '{kind="predict"}'] == counters["requests"]
+        # The batcher only sees cache misses; hits short-circuit.
+        assert counters["batched"] == \
+            counters["requests"] - counters["cache_hits"]
+        assert flat["repro_batcher_requests_total"] == \
+            counters["batched"]
+        assert flat["repro_cache_hits_total"] == counters["cache_hits"]
+        assert flat["repro_cache_misses_total"] == \
+            counters["cache_misses"]
+        assert flat["repro_server_inflight"] == 0
+        # Histogram internal consistency: +Inf bucket equals _count.
+        assert flat['repro_server_request_latency_seconds_bucket'
+                    '{kind="predict",le="+Inf"}'] == counters["requests"]
+        # Batch sizes observed sum to the requests that went through.
+        assert flat["repro_batcher_batch_size_sum"] == \
+            counters["requests"] - counters["cache_hits"]
+
+    def test_two_servers_do_not_double_count(self, model, images):
+        config = ServeConfig(max_batch=4, max_delay=0.005)
+        with Server(model=model, config=config) as one, \
+                Server(model=model, config=config) as two:
+            one.submit("predict", images[0]).result()
+            flat_one = _flat_samples(one.metrics_text())
+            flat_two = _flat_samples(two.metrics_text())
+        assert flat_one['repro_server_requests_total{kind="predict"}'] \
+            == 1
+        assert flat_two.get(
+            'repro_server_requests_total{kind="predict"}', 0) == 0
+
+
+class TestMetricsEndpoint:
+    def test_scrape_over_http(self, model, images):
+        config = ServeConfig(max_batch=4, max_delay=0.005)
+        with Server(model=model, config=config) as server:
+            frontend = server.serve_http(port=0)
+            for sample in images[:4]:
+                server.submit("predict", sample).result()
+            with urllib.request.urlopen(frontend.url + "/metrics",
+                                        timeout=30) as response:
+                assert response.status == 200
+                assert "version=0.0.4" in \
+                    response.headers["Content-Type"]
+                body = response.read().decode("utf-8")
+        parsed = parse_prometheus(body)
+        assert parsed["repro_server_requests_total"]["type"] == "counter"
+        assert parsed["repro_server_requests_total"]["samples"][
+            'repro_server_requests_total{kind="predict"}'] >= 4
+        assert "repro_pool_shard_state" in parsed
+
+
+class TestMetricsUnderFaults:
+    def test_kill_respawn_visible_in_metrics(self, model, images):
+        config = ServeConfig(max_batch=3, max_delay=0.005, shards=2,
+                             faults="kill:shard=1,after=1")
+        with Server(model=model, config=config) as server:
+            server.warmup()
+            server.predict(images)
+            assert server.settle(timeout=10.0)
+            deadline = time.monotonic() + 10.0
+            while (server.health()["status"] != "ok"
+                   and time.monotonic() < deadline):
+                server.predict(images[:4])
+            health = server.health()
+            stats = server.stats()
+            flat = _flat_samples(server.metrics_text())
+        assert health["status"] == "ok"
+        restarts = sum(value for key, value in flat.items()
+                       if key.startswith(
+                           "repro_pool_shard_restarts_total"))
+        assert restarts == health["restarts"] == 1
+        assert flat["repro_pool_failures_total"] == \
+            stats["counters"]["failures"] >= 1
+        assert flat["repro_pool_retries_total"] == \
+            stats["counters"]["retries"] >= 1
+        # Per-shard state gauge is one-hot: each shard in exactly one
+        # state, and both back to ok after recovery.
+        for shard in ("0", "1"):
+            states = {key: value for key, value in flat.items()
+                      if key.startswith("repro_pool_shard_state")
+                      and f'shard="{shard}"' in key}
+            assert sum(states.values()) == 1
+            assert states[f'repro_pool_shard_state{{shard="{shard}",'
+                          f'state="ok"}}'] == 1
+        assert flat["repro_pool_quarantined_shards"] == 0
+
+    def test_served_answers_stay_correct_while_scraping(self, model,
+                                                        images):
+        # Scrapes race the fault-handling hot path; answers must stay
+        # byte-identical to the serial engine throughout.
+        serial = model.predict(images)
+        config = ServeConfig(max_batch=3, max_delay=0.005, shards=2,
+                             faults="kill:shard=1,after=1")
+        with Server(model=model, config=config) as server:
+            server.warmup()
+            served = server.predict(images)
+            for _ in range(5):
+                server.metrics_text()
+            assert np.array_equal(served, serial)

@@ -92,9 +92,13 @@ class TestParser:
         assert args.checkpoint_every == 1
         assert args.faults is None
 
-    def test_report_requires_runs_dir(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["report"])
+    def test_report_requires_runs_dir(self, capsys):
+        # RUNS_DIR is optional at parse time (--compare replaces it),
+        # but the bare form is still rejected by the command itself.
+        args = build_parser().parse_args(["report"])
+        assert args.runs_dir is None
+        assert main(["report"]) == 2
+        assert "RUNS_DIR" in capsys.readouterr().err
 
     def test_report_strict_flag(self):
         assert build_parser().parse_args(["report", "runs"]).strict is False
