@@ -91,10 +91,15 @@ _SERVING_THRESHOLDS = {
     "n20_double.batch32_vs_batch1": 2.0,
     "fault_recovery.byte_identical": True,
     "fault_recovery.recovered": True,
+    "replica_recovery.byte_identical": True,
+    "replica_recovery.recovered": True,
+    "replica_recovery.kill_one_replica_vs_no_fault": 0.6,
 }
 _SERVING_THRESHOLDS_QUICK = {
     "fault_recovery.byte_identical": True,
     "fault_recovery.recovered": True,
+    "replica_recovery.byte_identical": True,
+    "replica_recovery.recovered": True,
 }
 _BACKEND_THRESHOLDS = {"train_single_vs_double_n64": 1.5}
 _SWEEP_THRESHOLDS = {"byte_identical": True}
@@ -208,6 +213,7 @@ def run_serving_bench(output: str, quick: bool = False) -> int:
     from repro.serve import (
         ModelStore,
         benchmark_fault_recovery,
+        benchmark_replica_recovery,
         benchmark_serving,
         write_snapshot,
     )
@@ -245,6 +251,18 @@ def run_serving_bench(output: str, quick: bool = False) -> int:
             max_batch=8, shards=2, backend="process",
             kill_shard=1, kill_after=2, verbose=True,
         )
+        # Replica tier: the 1..N router grid plus a kill-one-of-N case
+        # (replica 1 calls os._exit mid-load); responses byte-checked
+        # through the router, and the set must respawn the dead replica
+        # and aggregate back to "ok".  The gated summary ratio is the
+        # throughput retained through the kill vs the same-size
+        # no-fault cluster.
+        workloads["replica_recovery"] = benchmark_replica_recovery(
+            artifact=artifact, n_requests=192 // scale, concurrency=16,
+            replica_counts=(1, 2) if quick else (1, 2, 3),
+            kill_replicas=2 if quick else 3,
+            kill_replica=1, kill_after=5, verbose=True,
+        )
     snapshot = {
         "workloads": workloads,
         "provenance": provenance(),
@@ -279,6 +297,22 @@ def run_serving_bench(output: str, quick: bool = False) -> int:
     if not fault.get("fault_recovery.recovered", False):
         print("ACCEPTANCE FAILED: /healthz did not return to ok after "
               "the injected shard kill", file=sys.stderr)
+        status = 1
+    if not fault.get("replica_recovery.byte_identical", False):
+        print("ACCEPTANCE FAILED: routed responses under a replica kill "
+              "were not byte-identical to the serial engine",
+              file=sys.stderr)
+        status = 1
+    if not fault.get("replica_recovery.recovered", False):
+        print("ACCEPTANCE FAILED: router /healthz did not return to ok "
+              "after the injected replica kill", file=sys.stderr)
+        status = 1
+    retained = fault.get("replica_recovery.kill_one_replica_vs_no_fault",
+                         0.0)
+    if not quick and retained < 0.6:
+        print(f"ACCEPTANCE FAILED: only {retained:.2f}x throughput "
+              "retained through a replica kill (< 0.6x gate)",
+              file=sys.stderr)
         status = 1
     return status
 

@@ -266,8 +266,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "requests fail fast with 504")
         p.add_argument("--faults", default=None, metavar="PLAN",
                        help="fault-injection plan for chaos testing, "
-                            "e.g. 'kill:shard=1,after=3' (also read "
+                            "e.g. 'kill:shard=1,after=3' or "
+                            "'kill:replica=1,after=5' (also read "
                             "from $REPRO_FAULTS; see docs/serving.md)")
+        p.add_argument("--replicas", type=int, default=1, metavar="N",
+                       help="run N process-backed server replicas behind "
+                            "a health-probing router with failover "
+                            "(default: a single in-process server)")
+        p.add_argument("--hedge-ms", type=float, default=None, metavar="MS",
+                       help="with --replicas > 1: duplicate requests "
+                            "still unanswered after MS to a second "
+                            "replica, first answer wins")
 
     serve = sub.add_parser(
         "serve", help="serve a model artifact over HTTP/JSON"
@@ -637,10 +646,41 @@ def _serve_config(args, host=None, port=None):
     return ServeConfig(**kwargs)
 
 
+def _serve_cluster(args, artifact) -> int:
+    """``repro serve --replicas N``: ReplicaSet + Router, park, drain
+    gracefully on Ctrl-C."""
+    import time
+
+    from .serve import ReplicaSet, Router, RouterConfig
+
+    config = _serve_config(args)
+    with ReplicaSet(artifact, replicas=args.replicas, config=config) as rs:
+        with Router(replica_set=rs,
+                    config=RouterConfig(hedge_ms=args.hedge_ms)) as router:
+            frontend = router.serve_http(host=args.host, port=args.port)
+            print(f"serving {artifact} with {args.replicas} replicas "
+                  f"behind router at {frontend.url}")
+            for replica_id, url in rs.endpoints():
+                print(f"  {replica_id}: {url}")
+            print("  POST /v1/predict | /v1/logits | /v1/intensity ; "
+                  "GET /healthz | /metrics ; POST /admin/drain   "
+                  "(Ctrl-C drains and stops)")
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                print("\ndraining (new requests get 503 + Retry-After)")
+                router.begin_drain()
+                rs.begin_drain()
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .serve import Server, resolve_artifact
 
     artifact = resolve_artifact(args.model)
+    if args.replicas > 1:
+        return _serve_cluster(args, artifact)
     server = Server(artifact=artifact,
                     config=_serve_config(args, args.host, args.port))
     with server:
@@ -693,6 +733,12 @@ def _cmd_bench_serve(args) -> int:
         send = http_sender(args.url)
         stats = run_load(send, samples, args.requests, args.concurrency)
         snapshot = {"target": args.url, "load": stats}
+    elif args.replicas > 1:
+        if args.model is None:
+            print("bench-serve needs --model (or --url for a live server)",
+                  file=sys.stderr)
+            return 2
+        return _bench_serve_cluster(args, samples)
     else:
         if args.model is None:
             print("bench-serve needs --model (or --url for a live server)",
@@ -766,6 +812,103 @@ def _cmd_bench_serve(args) -> int:
           f"p99 {stats['p99_ms']} ms")
     if args.output:
         write_snapshot(args.output, snapshot)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _bench_serve_cluster(args, samples) -> int:
+    """``repro bench-serve --replicas N``: the closed loop through a
+    real ReplicaSet + Router over HTTP, with optional chaos recovery
+    and byte-identity verification."""
+    import time
+
+    import numpy as np
+
+    from .serve import (
+        ReplicaSet,
+        Router,
+        RouterConfig,
+        http_sender,
+        resolve_artifact,
+        run_load,
+        write_snapshot,
+    )
+
+    artifact = resolve_artifact(args.model)
+    config = _serve_config(args)
+    plan = config.resolved_faults()
+    mismatches = [0]
+    with ReplicaSet(artifact, replicas=args.replicas, config=config) as rs:
+        router = Router(
+            replica_set=rs,
+            config=RouterConfig(probe_interval=0.05,
+                                hedge_ms=args.hedge_ms))
+        router.start()
+        url = router.serve_http(port=0).url
+        raw_send = http_sender(url)
+        if args.check:
+            from .utils.serialization import load_model
+
+            reference = load_model(artifact).inference_engine(
+                precision=config.precision or "double")
+            expected = {
+                np.ascontiguousarray(sample).tobytes():
+                int(reference.predict(sample[None])[0])
+                for sample in samples
+            }
+
+            def send(sample):
+                label = raw_send(sample)["predictions"]
+                key = np.ascontiguousarray(sample).tobytes()
+                if int(label) != expected[key]:
+                    mismatches[0] += 1
+                return label
+        else:
+            send = raw_send
+        stats = run_load(send, samples, args.requests, args.concurrency)
+        stats["replicas"] = args.replicas
+        if plan:
+            # Chaos run: drive probe rounds and traffic until respawned
+            # replicas rejoin and the router aggregates plain "ok".
+            give_up = time.monotonic() + 60.0
+            while (router.health()["status"] != "ok"
+                   and time.monotonic() < give_up):
+                rs.settle(timeout=10.0)
+                router.probe_once()
+                for sample in samples[:max(4, 2 * args.replicas)]:
+                    send(sample)
+            health = router.health()
+            supervision = rs.stats()
+            counters = router.stats()["counters"]
+            stats["health"] = health
+            print(f"faults: {plan} -> health {health['status']} "
+                  f"(replica respawns {supervision['restarts']}, "
+                  f"failovers "
+                  f"{int(counters.get('repro_router_failovers_total', 0))}, "
+                  f"quarantined {supervision['quarantined']})")
+            if health["status"] != "ok":
+                print("FAULT RECOVERY FAILED: router /healthz did not "
+                      "return to ok", file=sys.stderr)
+                router.stop()
+                return 1
+        if args.check:
+            if mismatches[0]:
+                print(f"CHECK FAILED: {mismatches[0]} routed "
+                      f"prediction(s) differ from serial engine",
+                      file=sys.stderr)
+                router.stop()
+                return 1
+            print("check: routed predictions byte-identical to serial "
+                  "engine (verified under load)")
+        router.stop()
+    print(f"{stats['requests']} requests, concurrency "
+          f"{stats['concurrency']}: {stats['throughput_rps']} req/s  "
+          f"p50 {stats['p50_ms']} ms  p90 {stats['p90_ms']} ms  "
+          f"p99 {stats['p99_ms']} ms  (replicas {args.replicas})")
+    if args.output:
+        write_snapshot(args.output, {"target": str(artifact),
+                                     "replicas": args.replicas,
+                                     "load": stats})
         print(f"wrote {args.output}")
     return 0
 

@@ -15,6 +15,12 @@ The serving story on top of :mod:`repro.runtime`:
 * :class:`Server` — the programmatic API tying the three together, plus
   :class:`HTTPFrontend`, a stdlib HTTP/JSON entry point
   (``repro serve`` on the command line).
+* :class:`ReplicaSet` + :class:`Router` — the replication tier: N
+  process-backed Server replicas supervised like shards (respawn,
+  bounded restarts, quarantine) behind a health-probing router with
+  least-loaded routing, bounded byte-identical failover, per-replica
+  circuit breakers and optional request hedging
+  (``repro serve --replicas N``).
 * :mod:`repro.serve.bench` — the load generator behind
   ``repro bench-serve`` and ``benchmarks/BENCH_serving.json``.
 
@@ -33,15 +39,18 @@ See ``docs/serving.md`` for the architecture and the artifact format.
 from .batching import BatcherStats, MicroBatcher
 from .bench import (
     benchmark_fault_recovery,
+    benchmark_replica_recovery,
     benchmark_serving,
     http_sender,
     run_load,
     write_snapshot,
 )
+from .cluster import REPLICA_STATES, ReplicaSet
 from .errors import (
     DeadlineExceeded,
     Draining,
     FaultInjected,
+    NoHealthyReplicas,
     NoHealthyShards,
     Overloaded,
     ServeError,
@@ -49,6 +58,7 @@ from .errors import (
 )
 from .faults import FaultPlan, FaultSpec
 from .http import HTTPFrontend
+from .router import BREAKER_STATES, MEMBER_STATES, Router, RouterConfig
 from .server import ResultCache, ServeConfig, Server
 from .store import ModelStore, resolve_artifact
 from .workers import REQUEST_KINDS, SHARD_STATES, ShardedPool
@@ -65,7 +75,14 @@ __all__ = [
     "ServeConfig",
     "ResultCache",
     "HTTPFrontend",
+    "ReplicaSet",
+    "REPLICA_STATES",
+    "Router",
+    "RouterConfig",
+    "MEMBER_STATES",
+    "BREAKER_STATES",
     "benchmark_fault_recovery",
+    "benchmark_replica_recovery",
     "benchmark_serving",
     "http_sender",
     "run_load",
@@ -75,6 +92,7 @@ __all__ = [
     "Overloaded",
     "Draining",
     "NoHealthyShards",
+    "NoHealthyReplicas",
     "ShardCrash",
     "FaultInjected",
     "FaultPlan",

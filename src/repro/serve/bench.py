@@ -29,7 +29,7 @@ import numpy as np
 from .server import ServeConfig, Server
 
 __all__ = ["run_load", "benchmark_serving", "benchmark_fault_recovery",
-           "http_sender", "write_snapshot"]
+           "benchmark_replica_recovery", "http_sender", "write_snapshot"]
 
 
 def _latency_stats(latencies_s: List[float], elapsed_s: float,
@@ -448,6 +448,213 @@ def benchmark_fault_recovery(
             "max_delay": max_delay,
             "shards": shards,
             "kill_shard": kill_shard,
+            "kill_after": kill_after,
+            "model_n": int(base_model.config.n),
+            "num_layers": len(base_model.layers),
+            "seed": seed,
+        },
+        "cases": cases,
+        "summary": summary,
+    }
+
+
+def benchmark_replica_recovery(
+    model=None,
+    artifact=None,
+    n_requests: int = 192,
+    concurrency: int = 16,
+    replica_counts: Iterable[int] = (1, 2, 3),
+    kill_replicas: int = 3,
+    kill_replica: int = 1,
+    kill_after: int = 5,
+    max_batch: int = 8,
+    shards: int = 1,
+    backend: str = "thread",
+    precision: str = "double",
+    max_delay: float = 0.005,
+    image_size: int = 28,
+    distinct_images: int = 32,
+    seed: int = 0,
+    verbose: bool = False,
+) -> Dict[str, object]:
+    """The replica grid + kill-one-replica recovery, over real HTTP.
+
+    Every case runs a :class:`~repro.serve.cluster.ReplicaSet` of
+    process-backed replicas behind a :class:`~repro.serve.router.Router`
+    and drives the closed loop through the router's HTTP frontend, so
+    the measured path is the full production one: socket -> router
+    membership/failover -> replica socket -> micro-batcher -> shard
+    pool.  The kill case injects ``kill:replica=K,after=N`` (replica K
+    calls ``os._exit`` on its N-th submitted sample) while every
+    response is byte-checked against a serial engine reference — the
+    router's failover must make the death invisible to clients.  After
+    the load drains, traffic and probe rounds are driven until the
+    router's ``/healthz`` aggregates back to ``ok`` (``recovery_s``).
+    The summary's ``kill_one_replica_vs_no_fault`` ratio is the
+    throughput retained through the kill (vs the same-size no-fault
+    cluster).
+    """
+    from .cluster import ReplicaSet
+    from .router import Router, RouterConfig
+
+    if kill_replicas < 2:
+        raise ValueError(
+            f"replica recovery needs a healthy replica to fail over to; "
+            f"got kill_replicas={kill_replicas}"
+        )
+    replica_counts = sorted(set(int(r) for r in replica_counts))
+    rng = np.random.default_rng(seed)
+    samples = rng.random((distinct_images, image_size, image_size))
+    index_of = {
+        np.ascontiguousarray(sample).tobytes(): index
+        for index, sample in enumerate(samples)
+    }
+
+    def note(message: str) -> None:
+        if verbose:
+            print(message, flush=True)
+
+    # -- Serial-engine ground truth; replicas need an artifact on disk.
+    import tempfile
+
+    tmpdir = None
+    if artifact is None:
+        from ..utils.serialization import save_model
+
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-bench-replica-")
+        artifact = save_model(Path(tmpdir.name) / "model.npz", model,
+                              precision=precision)
+        base_model = model
+    else:
+        from ..utils.serialization import load_model
+
+        base_model = load_model(artifact)
+    engine = base_model.inference_engine(precision=precision)
+    reference = np.asarray(engine.predict(samples))
+
+    def run_case(label: str, replicas: int,
+                 faults: Optional[str]) -> Dict[str, object]:
+        config = ServeConfig(
+            precision=precision, max_batch=max_batch, max_delay=max_delay,
+            shards=shards, backend=backend, faults=faults,
+        )
+        statuses: List[str] = []
+        stop_polling = threading.Event()
+        mismatches = [0]
+        with ReplicaSet(artifact, replicas=replicas, config=config) as rs:
+            router = Router(replica_set=rs,
+                            config=RouterConfig(probe_interval=0.05))
+            router.start()
+            url = router.serve_http(port=0).url
+            raw_send = http_sender(url)
+
+            def poll() -> None:
+                while not stop_polling.is_set():
+                    status = router.health()["status"]
+                    if not statuses or statuses[-1] != status:
+                        statuses.append(status)
+                    time.sleep(0.001)
+
+            poller = threading.Thread(target=poll, daemon=True)
+            poller.start()
+
+            def send(sample: np.ndarray):
+                label_got = raw_send(sample)["predictions"]
+                index = index_of[np.ascontiguousarray(sample).tobytes()]
+                if int(label_got) != int(reference[index]):
+                    mismatches[0] += 1
+                return label_got
+
+            stats = run_load(send, samples, n_requests, concurrency)
+
+            # -- Recovery: probe + traffic until the respawned replica
+            # rejoined and the router aggregates plain "ok" again.
+            recovery_s: Optional[float] = None
+            if router.health()["status"] == "ok":
+                recovery_s = 0.0
+            else:
+                begin = time.perf_counter()
+                give_up = begin + 60.0
+                while time.perf_counter() < give_up:
+                    rs.settle(timeout=10.0)
+                    router.probe_once()
+                    for i in range(max(4, replicas * 2)):
+                        send(samples[i % len(samples)])
+                    if router.health()["status"] == "ok":
+                        recovery_s = time.perf_counter() - begin
+                        break
+
+            stop_polling.set()
+            poller.join(timeout=1.0)
+            final_health = router.health()
+            counters = router.stats()["counters"]
+            supervision = rs.stats()
+            router.stop()
+
+        stats["byte_identical"] = mismatches[0] == 0
+        stats["mismatches"] = mismatches[0]
+        stats["health_trajectory"] = statuses
+        stats["final_status"] = final_health["status"]
+        stats["recovered"] = final_health["status"] == "ok"
+        stats["recovery_s"] = (
+            round(recovery_s, 4) if recovery_s is not None else None
+        )
+        stats["replicas"] = replicas
+        stats["respawns"] = supervision["restarts"]
+        stats["failovers"] = int(
+            counters.get("repro_router_failovers_total", 0))
+        stats["ejections"] = int(
+            counters.get("repro_router_ejections_total", 0))
+        note(f"{label}: {stats['throughput_rps']} rps, "
+             f"health {' -> '.join(statuses) or 'ok'}, "
+             f"respawns {stats['respawns']}, "
+             f"failovers {stats['failovers']}, "
+             f"byte_identical {stats['byte_identical']}")
+        return stats
+
+    cases: Dict[str, Dict[str, object]] = {}
+    for replicas in replica_counts:
+        cases[f"router_replicas{replicas}"] = run_case(
+            f"router_replicas{replicas}", replicas, None)
+    kill_label = "kill_one_replica"
+    cases[kill_label] = run_case(
+        kill_label, kill_replicas,
+        f"kill:replica={kill_replica},after={kill_after}")
+    if tmpdir is not None:
+        tmpdir.cleanup()
+
+    baseline = f"router_replicas{kill_replicas}"
+    summary: Dict[str, object] = {
+        "kill_one_replica_vs_no_fault": round(
+            cases[kill_label]["throughput_rps"]
+            / cases[baseline]["throughput_rps"], 3
+        ),
+        "byte_identical": all(c["byte_identical"] for c in cases.values()),
+        "recovered": cases[kill_label]["recovered"],
+        "respawns": int(cases[kill_label]["respawns"]),
+    }
+    first = replica_counts[0]
+    for replicas in replica_counts[1:]:
+        summary[f"replicas{replicas}_vs_replicas{first}"] = round(
+            cases[f"router_replicas{replicas}"]["throughput_rps"]
+            / cases[f"router_replicas{first}"]["throughput_rps"], 3
+        )
+
+    return {
+        "workload": {
+            "n_requests": n_requests,
+            "concurrency": concurrency,
+            "kind": "predict",
+            "image_size": image_size,
+            "distinct_images": distinct_images,
+            "backend": backend,
+            "precision": precision,
+            "max_batch": max_batch,
+            "max_delay": max_delay,
+            "shards": shards,
+            "replica_counts": replica_counts,
+            "kill_replicas": kill_replicas,
+            "kill_replica": kill_replica,
             "kill_after": kill_after,
             "model_n": int(base_model.config.n),
             "num_layers": len(base_model.layers),

@@ -29,11 +29,22 @@ files, CLI flags and environment variables unchanged::
 
     kill:shard=1,after=3
     delay:shard=0,ms=50,after=2,times=4; error:shard=1,after=0
+    kill:replica=1,after=5
 
-(semicolon-separated specs; ``shard`` is required, ``after`` defaults
-to 0, ``times`` to 1).  Wire-up points: ``ServeConfig(faults=...)``,
-``repro serve/bench-serve --faults``, or the ``REPRO_FAULTS``
-environment variable (config wins over env).
+(semicolon-separated specs; exactly one of ``shard``/``replica`` is
+required, ``after`` defaults to 0, ``times`` to 1).  Wire-up points:
+``ServeConfig(faults=...)``, ``repro serve/bench-serve --faults``, or
+the ``REPRO_FAULTS`` environment variable (config wins over env).
+
+Specs come in two *scopes*.  ``shard=`` specs target one shard inside
+every replica's pool and count per-shard **batches**.  ``replica=``
+specs target one whole :class:`~repro.serve.cluster.ReplicaSet` member
+and count that replica's **submitted samples** (the replica wrapper
+fires before admission, one count per 2-D input, so ``after=5`` means
+"on the 6th sample this replica receives").  A plan may mix both; each consumer filters for
+its own scope (:meth:`FaultPlan.for_shard` inside pools,
+:meth:`FaultPlan.for_replica` inside replica processes), so specs for
+the other scope are inert where they don't apply.
 
 Batch indices count every batch a worker runs **including warm-up
 batches** (``ShardedPool.warmup`` sends one per shard), so a plan used
@@ -50,9 +61,18 @@ from typing import Callable, Optional, Sequence, Tuple
 
 from .errors import FaultInjected
 
-__all__ = ["FaultSpec", "FaultPlan", "ShardFaultState", "FAULT_ACTIONS"]
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "ShardFaultState",
+    "FAULT_ACTIONS",
+    "FAULT_SCOPES",
+]
 
 FAULT_ACTIONS = ("kill", "delay", "error")
+
+#: Where a spec applies: one shard of a pool, or one whole replica.
+FAULT_SCOPES = ("shard", "replica")
 
 #: Environment variable consulted when no explicit plan is configured.
 FAULTS_ENV = "REPRO_FAULTS"
@@ -60,13 +80,15 @@ FAULTS_ENV = "REPRO_FAULTS"
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """One injected fault: ``action`` on ``shard`` at batch ``after``."""
+    """One injected fault: ``action`` on target ``shard`` (an index in
+    ``scope`` — a pool shard or a cluster replica) at count ``after``."""
 
     action: str
     shard: int
     after: int = 0
     times: int = 1
     delay_ms: float = 0.0
+    scope: str = "shard"
 
     def __post_init__(self) -> None:
         if self.action not in FAULT_ACTIONS:
@@ -74,8 +96,13 @@ class FaultSpec:
                 f"unknown fault action {self.action!r}; expected one of "
                 f"{FAULT_ACTIONS}"
             )
+        if self.scope not in FAULT_SCOPES:
+            raise ValueError(
+                f"unknown fault scope {self.scope!r}; expected one of "
+                f"{FAULT_SCOPES}"
+            )
         if self.shard < 0:
-            raise ValueError(f"shard must be >= 0, got {self.shard}")
+            raise ValueError(f"{self.scope} must be >= 0, got {self.shard}")
         if self.after < 0:
             raise ValueError(f"after must be >= 0, got {self.after}")
         if self.times < 1:
@@ -84,7 +111,7 @@ class FaultSpec:
             raise ValueError("delay faults need ms > 0 (delay:ms=<float>)")
 
     def __str__(self) -> str:
-        parts = [f"shard={self.shard}"]
+        parts = [f"{self.scope}={self.shard}"]
         if self.action == "delay":
             parts.append(f"ms={self.delay_ms:g}")
         if self.after:
@@ -108,9 +135,14 @@ def _parse_one(text: str) -> FaultSpec:
                     "key=value"
                 )
             fields[key] = value.strip()
-    if "shard" not in fields:
-        raise ValueError(f"fault spec {text!r} needs shard=<index>")
-    known = {"shard", "after", "times", "ms"}
+    targets = [scope for scope in FAULT_SCOPES if scope in fields]
+    if len(targets) != 1:
+        raise ValueError(
+            f"fault spec {text!r} needs exactly one of shard=<index> / "
+            f"replica=<index>, got {targets or 'neither'}"
+        )
+    scope = targets[0]
+    known = {"shard", "replica", "after", "times", "ms"}
     unknown = set(fields) - known
     if unknown:
         raise ValueError(
@@ -120,10 +152,11 @@ def _parse_one(text: str) -> FaultSpec:
     try:
         return FaultSpec(
             action=action,
-            shard=int(fields["shard"]),
+            shard=int(fields[scope]),
             after=int(fields.get("after", 0)),
             times=int(fields.get("times", 1)),
             delay_ms=float(fields.get("ms", 0.0)),
+            scope=scope,
         )
     except ValueError:
         raise
@@ -156,14 +189,25 @@ class FaultPlan:
         return cls.parse(os.environ.get(env))
 
     def for_shard(self, index: int) -> Tuple[FaultSpec, ...]:
-        return tuple(spec for spec in self.specs if spec.shard == index)
+        return tuple(
+            spec for spec in self.specs
+            if spec.scope == "shard" and spec.shard == index
+        )
 
-    def without_kill(self, index: int) -> "FaultPlan":
-        """Drop the first ``kill`` spec for ``index`` — called by the
-        supervisor on respawn so one configured kill dies exactly once."""
+    def for_replica(self, index: int) -> Tuple[FaultSpec, ...]:
+        return tuple(
+            spec for spec in self.specs
+            if spec.scope == "replica" and spec.shard == index
+        )
+
+    def without_kill(self, index: int, scope: str = "shard") -> "FaultPlan":
+        """Drop the first ``kill`` spec for ``index`` in ``scope`` —
+        called by the supervisor on respawn so one configured kill dies
+        exactly once."""
         specs = list(self.specs)
         for position, spec in enumerate(specs):
-            if spec.action == "kill" and spec.shard == index:
+            if spec.action == "kill" and spec.shard == index \
+                    and spec.scope == scope:
                 del specs[position]
                 break
         return replace(self, specs=tuple(specs))
@@ -203,7 +247,7 @@ class ShardFaultState:
             if spec.action == "error" and \
                     spec.after <= index < spec.after + spec.times:
                 raise FaultInjected(
-                    f"injected fault on shard {spec.shard} "
+                    f"injected fault on {spec.scope} {spec.shard} "
                     f"(batch {index}, spec '{spec}')"
                 )
 

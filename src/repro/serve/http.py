@@ -16,6 +16,8 @@ Endpoints
 ``POST /v1/predict``     ``{"inputs": <2-D sample or 3-D batch>}`` -> labels
 ``POST /v1/logits``      same request shape -> per-class logits
 ``POST /v1/intensity``   same request shape -> detector-plane intensity
+``POST /admin/drain``    begin a graceful drain: in-flight work finishes,
+                         new requests get 503 + ``Retry-After``
 
 Raw images may be any resolution (they go through the model's amplitude
 encoder); pre-encoded complex fields are sent as
@@ -30,12 +32,18 @@ queueing forever.  Errors come back as ``{"error": "..."}``:
 * 503 — draining, or no healthy shard left; honors ``Retry-After``
 * 504 — the request's deadline expired before a result was produced
 * 500 — anything else (including injected chaos faults)
+
+``Retry-After`` values are *jittered*: each response draws uniformly
+from ``[0.75, 1.25) x`` the error's suggested wait, so N clients that
+all hit a 429/503 in the same instant don't come back in lockstep and
+re-saturate the admission window (thundering herd).
 """
 
 from __future__ import annotations
 
 import json
 import math
+import random
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
@@ -50,7 +58,32 @@ from .errors import (
     Overloaded,
 )
 
-__all__ = ["HTTPFrontend"]
+__all__ = ["HTTPFrontend", "jittered_retry_after", "RETRY_AFTER_JITTER"]
+
+#: ``Retry-After`` jitter band: responses draw uniformly from
+#: ``[low, high) x suggested``.  Tests enforce this range.
+RETRY_AFTER_JITTER = (0.75, 1.25)
+
+# Seeded for reproducible chaos runs; per-call draws still differ, which
+# is the whole point — synchronized clients get *different* waits.
+_retry_after_rng = random.Random(0x5EED)
+_retry_after_lock = threading.Lock()
+
+
+def jittered_retry_after(suggested: float) -> str:
+    """A ``Retry-After`` header value near ``suggested`` seconds.
+
+    Uniform over ``[0.75, 1.25) x max(suggested, 0.05)`` — close enough
+    to the server's intent to be honest, spread enough that a herd of
+    synchronized clients desynchronizes after one backoff round.
+    Formatted as a short decimal (our clients parse floats; integer
+    seconds would quantize sub-second waits back into lockstep).
+    """
+    base = max(float(suggested), 0.05)
+    low, high = RETRY_AFTER_JITTER
+    with _retry_after_lock:
+        factor = low + (high - low) * _retry_after_rng.random()
+    return f"{base * factor:.3f}"
 
 #: POST route -> (request kind, response field name).
 _ROUTES = {
@@ -165,6 +198,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"unknown path {self.path}"})
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        if self.path == "/admin/drain":
+            # Graceful drain: the request is a signal, not a payload —
+            # any body is drained off the keep-alive socket and ignored.
+            length = int(self.headers.get("Content-Length", 0))
+            if 0 < length <= _MAX_BODY:
+                self.rfile.read(length)
+            self._app().begin_drain()
+            self._send_json(200, {"status": "draining"})
+            return
         route = _ROUTES.get(self.path)
         if route is None:
             self._send_json(404, {"error": f"unknown path {self.path}"})
@@ -200,11 +242,11 @@ class _Handler(BaseHTTPRequestHandler):
         except Overloaded as exc:
             self._send_json(429, {"error": str(exc)},
                             {"Retry-After":
-                             str(max(1, math.ceil(exc.retry_after)))})
+                             jittered_retry_after(exc.retry_after)})
         except Draining as exc:
             self._send_json(503, {"error": str(exc)},
                             {"Retry-After":
-                             str(max(1, math.ceil(exc.retry_after)))})
+                             jittered_retry_after(exc.retry_after)})
         except NoHealthyShards as exc:
             self._send_json(503, {"error": str(exc)})
         except FaultInjected as exc:

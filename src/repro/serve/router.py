@@ -1,0 +1,858 @@
+"""Health-driven HTTP router over N serving replicas.
+
+The :class:`Router` is the cluster's front door: it owns *membership*
+(which replicas exist and whether they are trustworthy) and *routing*
+(which replica gets the next request), while process supervision lives
+in :class:`~repro.serve.cluster.ReplicaSet`.  The engine underneath is
+pure and deterministic, so retrying a request on a different replica is
+invisible to the client — responses are relayed as the replica's raw
+bytes, byte-identical no matter which replica answered.
+
+Membership state machine (driven by periodic ``/healthz`` probes)::
+
+            probe ok                   probe fail
+    [ok] <------------ [suspect] ------------------+
+      |    probe fail       ^                      | x eject_after
+      +-------------------- | -----+               v
+                            |      |          [ejected]
+            x rejoin_after  |      |               |
+    [rejoining] ------------+      |    probe ok   |
+        ^  |                       |               |
+        |  +-- probe fail ---------+---------------+
+        +------------------------------------------+
+
+``ok`` and ``suspect`` members receive traffic (suspect = deprioritized
+but routable — one blip must not eject a healthy replica); ``ejected``
+members only receive probes.  A respawned replica re-enters at
+``rejoining`` and must pass ``rejoin_after`` consecutive probes before
+carrying full weight.
+
+On top of membership, each member carries a **circuit breaker**
+(closed / open / half-open): consecutive *request* failures — which a
+probe cycle may be too slow to see — open the breaker, shedding load
+from a sick replica immediately; after ``breaker_cooldown`` one
+half-open trial request probes it, and a success closes the breaker.
+
+Routing is least-loaded (router-tracked inflight per member, round-robin
+tie-break) with bounded failover: connection errors and 429/500/503
+responses move the request to the next-best member after a jittered
+backoff, never revisiting a member within one request.  400/404/504 are
+relayed immediately — they are the *request's* fault (or its deadline),
+not the replica's.  With ``hedge_ms`` set, a request still unanswered
+after that many milliseconds is duplicated to a second replica and the
+first answer wins (tail-latency insurance priced at one extra request).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..obs.metrics import MetricsRegistry
+from .http import jittered_retry_after
+
+__all__ = [
+    "Router",
+    "RouterConfig",
+    "MEMBER_STATES",
+    "BREAKER_STATES",
+]
+
+#: Membership states a replica walks through (see module docstring).
+MEMBER_STATES = ("ok", "suspect", "ejected", "rejoining")
+
+#: Circuit-breaker states.
+BREAKER_STATES = ("closed", "open", "half_open")
+
+#: Response statuses that move a request to another replica.  429/503
+#: mean "this replica can't take it right now"; 500 covers injected
+#: chaos faults and genuine replica bugs — the deterministic engine
+#: makes the retry safe either way.
+_FAILOVER_STATUSES = frozenset({429, 500, 503})
+
+#: Headers copied from the client request to the replica request.
+_FORWARD_HEADERS = ("Content-Type", "X-Deadline-Ms")
+
+#: Response headers relayed from the replica back to the client.
+_RELAY_HEADERS = ("Content-Type", "Retry-After")
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Knobs of one router.
+
+    Membership: replicas are probed every ``probe_interval`` seconds
+    (timeout ``probe_timeout``); ``eject_after`` consecutive failures
+    walk ok -> suspect -> ejected, ``rejoin_after`` consecutive
+    successes walk ejected -> rejoining -> ok.
+
+    Failover: up to ``max_failover`` *additional* replicas are tried
+    per request, sleeping a jittered exponential backoff (base
+    ``failover_backoff``, cap ``failover_backoff_cap``) between
+    attempts.
+
+    Breaker: ``breaker_threshold`` consecutive request failures open a
+    member's breaker; after ``breaker_cooldown`` seconds one half-open
+    trial request is allowed through.
+
+    Hedging: ``hedge_ms`` (``None`` = off) duplicates a request to a
+    second replica once the primary has been silent that long.
+    """
+
+    probe_interval: float = 0.25
+    probe_timeout: float = 2.0
+    eject_after: int = 3
+    rejoin_after: int = 2
+    max_failover: int = 3
+    failover_backoff: float = 0.02
+    failover_backoff_cap: float = 0.25
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 1.0
+    hedge_ms: Optional[float] = None
+    request_timeout: float = 60.0
+    retry_after: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.eject_after < 1:
+            raise ValueError("eject_after must be >= 1")
+        if self.rejoin_after < 1:
+            raise ValueError("rejoin_after must be >= 1")
+        if self.max_failover < 0:
+            raise ValueError("max_failover must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.hedge_ms is not None and self.hedge_ms <= 0:
+            raise ValueError("hedge_ms must be > 0 (or None to disable)")
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker for one member.
+
+    Counts *consecutive* request failures (connection errors, 5xx).
+    429 does not count — an admission-full replica is healthy, just
+    busy.  All methods are called under the router's membership lock.
+    """
+
+    def __init__(self, threshold: int, cooldown: float) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self._trial_inflight = False
+
+    def allow(self) -> bool:
+        """May a request go to this member right now?  Transitions
+        open -> half_open when the cooldown has elapsed, and claims the
+        single half-open trial slot when it returns True."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if time.monotonic() - self.opened_at < self.cooldown:
+                return False
+            self.state = "half_open"
+            self._trial_inflight = False
+        # half_open: exactly one trial request probes the member.
+        if self._trial_inflight:
+            return False
+        self._trial_inflight = True
+        return True
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._trial_inflight = False
+
+    def record_failure(self) -> None:
+        self._trial_inflight = False
+        if self.state == "half_open":
+            self.state = "open"
+            self.opened_at = time.monotonic()
+            return
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.threshold:
+            self.state = "open"
+            self.opened_at = time.monotonic()
+
+
+class _Member:
+    """Router-side view of one replica."""
+
+    def __init__(self, replica_id: str, url: str,
+                 breaker: CircuitBreaker) -> None:
+        self.id = replica_id
+        self.url = url
+        self.state = "rejoining"  # must earn trust via probes
+        self.breaker = breaker
+        self.admitted = False  # has it ever reached "ok"?
+        self.inflight = 0
+        self.probe_failures = 0   # consecutive
+        self.probe_successes = 0  # consecutive
+        self.probe_failures_total = 0
+        self.last_status: Optional[str] = None  # replica-reported
+
+    def routable(self) -> bool:
+        return self.state in ("ok", "suspect")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "url": self.url,
+            "state": self.state,
+            "breaker": self.breaker.state,
+            "inflight": self.inflight,
+            "probe_failures": self.probe_failures,
+            "probe_failures_total": self.probe_failures_total,
+            "last_status": self.last_status,
+        }
+
+
+#: A relayed response: (HTTP status, headers to relay, raw body bytes).
+_Response = Tuple[int, Dict[str, str], bytes]
+
+
+class Router:
+    """Route requests across replicas; own membership via health probes.
+
+    ``endpoints`` is a static list of replica URLs (or ``(id, url)``
+    pairs) for externally managed replicas; ``replica_set`` attaches a
+    :class:`~repro.serve.cluster.ReplicaSet` whose live endpoints are
+    re-read before every probe round, so respawned replicas (same id,
+    new port) rejoin automatically and quarantined ones drop out.
+
+    Deterministic tests drive the membership machine with
+    :meth:`probe_once` instead of starting the background prober.
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[Union[str, Tuple[str, str]]] = (),
+        replica_set=None,
+        config: Optional[RouterConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or RouterConfig()
+        self._replica_set = replica_set
+        self._static: List[Tuple[str, str]] = []
+        for position, endpoint in enumerate(endpoints):
+            if isinstance(endpoint, str):
+                self._static.append((f"r{position}", endpoint))
+            else:
+                replica_id, url = endpoint
+                self._static.append((str(replica_id), str(url)))
+        self._lock = threading.Lock()
+        self._members: "Dict[str, _Member]" = {}
+        self._rr = 0  # round-robin tie-break cursor
+        self._draining = False
+        self._stop = threading.Event()
+        self._prober: Optional[threading.Thread] = None
+        self._hedge_pool: Optional[ThreadPoolExecutor] = None
+        self._http = None
+        # Jitter for failover backoff: seeded per-router so chaos runs
+        # replay, distinct draws so concurrent retries fan out in time.
+        self._backoff_rng = random.Random(0xF417)
+        self._build_metrics(metrics)
+        self._refresh_membership()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _build_metrics(self, metrics: Optional[MetricsRegistry]) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_requests = self.metrics.counter(
+            "repro_router_requests_total",
+            "Client requests accepted by the router (before routing).")
+        self._m_responses = self.metrics.counter(
+            "repro_router_responses_total",
+            "Responses returned to clients, by HTTP status code.",
+            labelnames=("code",))
+        self._m_failovers = self.metrics.counter(
+            "repro_router_failovers_total",
+            "Request attempts moved to another replica after a "
+            "connection error or failover-able status (429/500/503).")
+        self._m_ejections = self.metrics.counter(
+            "repro_router_ejections_total",
+            "Members ejected from the routable set, by replica.",
+            labelnames=("replica",))
+        self._m_rejoins = self.metrics.counter(
+            "repro_router_rejoins_total",
+            "Members readmitted to the routable set, by replica.",
+            labelnames=("replica",))
+        self._m_hedges = self.metrics.counter(
+            "repro_router_hedges_total",
+            "Hedged duplicate requests, by outcome (won = the hedge "
+            "answered first, lost = the primary did).",
+            labelnames=("outcome",))
+        self._m_sheds = self.metrics.counter(
+            "repro_router_sheds_total",
+            "Requests refused with 503 because no routable replica "
+            "remained (or the router was draining).",
+            labelnames=("reason",))
+        self._m_probe_failures = self.metrics.counter(
+            "repro_router_probe_failures_total",
+            "Failed health probes, by replica.",
+            labelnames=("replica",))
+        self._m_latency = self.metrics.histogram(
+            "repro_router_request_latency_seconds",
+            "Wall time from router accept to response, per request.")
+        self._m_state = self.metrics.gauge(
+            "repro_router_replica_state",
+            "Membership one-hot: 1 for the replica's current state.",
+            labelnames=("replica", "state"))
+        self._m_breaker = self.metrics.gauge(
+            "repro_router_breaker_state",
+            "Circuit-breaker one-hot: 1 for the replica's current state.",
+            labelnames=("replica", "state"))
+        self._m_inflight = self.metrics.gauge(
+            "repro_router_replica_inflight",
+            "Requests the router currently has outstanding per replica.",
+            labelnames=("replica",))
+        self._m_respawns = self.metrics.counter(
+            "repro_router_replica_respawns_total",
+            "Replica process respawns performed by the attached "
+            "ReplicaSet, by replica.",
+            labelnames=("replica",))
+        self.metrics.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time mirror of membership/breaker/supervision state."""
+        with self._lock:
+            members = list(self._members.values())
+            snapshots = [member.as_dict() for member in members]
+        self._m_state.clear()
+        self._m_breaker.clear()
+        self._m_inflight.clear()
+        for snap in snapshots:
+            for state in MEMBER_STATES:
+                self._m_state.set(
+                    1.0 if snap["state"] == state else 0.0,
+                    replica=snap["id"], state=state)
+            for state in BREAKER_STATES:
+                self._m_breaker.set(
+                    1.0 if snap["breaker"] == state else 0.0,
+                    replica=snap["id"], state=state)
+            self._m_inflight.set(float(snap["inflight"]),
+                                 replica=snap["id"])
+            self._m_probe_failures.set_to(
+                float(snap["probe_failures_total"]), replica=snap["id"])
+        if self._replica_set is not None:
+            for replica in self._replica_set.stats()["replicas"]:
+                self._m_respawns.set_to(float(replica["restarts"]),
+                                        replica=replica["id"])
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def _endpoints(self) -> List[Tuple[str, str]]:
+        if self._replica_set is not None:
+            return list(self._replica_set.endpoints())
+        return list(self._static)
+
+    def _refresh_membership(self) -> None:
+        """Reconcile members against the current endpoint list: new ids
+        join at ``rejoining``, respawned ids (same id, new URL) restart
+        their walk at ``rejoining``, vanished ids (quarantined/stopped
+        replicas) are dropped."""
+        endpoints = self._endpoints()
+        with self._lock:
+            seen = set()
+            for replica_id, url in endpoints:
+                seen.add(replica_id)
+                member = self._members.get(replica_id)
+                if member is None:
+                    self._members[replica_id] = _Member(
+                        replica_id, url,
+                        CircuitBreaker(self.config.breaker_threshold,
+                                       self.config.breaker_cooldown))
+                elif member.url != url:
+                    # Respawned under a new port: same identity, zero
+                    # trust — walk rejoining -> ok again.
+                    member.url = url
+                    member.state = "rejoining"
+                    member.probe_failures = 0
+                    member.probe_successes = 0
+                    member.breaker.record_success()
+            for replica_id in list(self._members):
+                if replica_id not in seen:
+                    del self._members[replica_id]
+
+    def probe_once(self) -> Dict[str, str]:
+        """One synchronous probe round over all members; returns
+        ``{replica_id: membership state}`` after the round.  The
+        background prober calls this every ``probe_interval``."""
+        self._refresh_membership()
+        with self._lock:
+            targets = [(member.id, member.url)
+                       for member in self._members.values()]
+        results = {}
+        for replica_id, url in targets:
+            results[replica_id] = self._probe(url)
+        with self._lock:
+            for replica_id, (alive, status) in results.items():
+                member = self._members.get(replica_id)
+                if member is None:  # dropped mid-round
+                    continue
+                member.last_status = status
+                if alive:
+                    self._probe_success(member)
+                else:
+                    self._probe_failure(member)
+            return {member.id: member.state
+                    for member in self._members.values()}
+
+    def _probe(self, url: str) -> Tuple[bool, Optional[str]]:
+        """GET /healthz; healthy iff HTTP 200 (the replica answers 200
+        only while serving: ok/degraded)."""
+        try:
+            with urllib.request.urlopen(
+                    url + "/healthz",
+                    timeout=self.config.probe_timeout) as response:
+                payload = json.loads(response.read())
+                return True, payload.get("status")
+        except urllib.error.HTTPError as exc:
+            try:
+                status = json.loads(exc.read()).get("status")
+            except Exception:  # noqa: BLE001 — probe must not raise
+                status = None
+            return False, status
+        except Exception:  # noqa: BLE001 — connection refused/timeout
+            return False, None
+
+    def _probe_success(self, member: _Member) -> None:
+        member.probe_failures = 0
+        member.probe_successes += 1
+        if member.state == "suspect":
+            member.state = "ok"
+        elif member.state == "ejected":
+            member.state = "rejoining"
+            member.probe_successes = 1
+        elif member.state == "rejoining" and \
+                member.probe_successes >= self.config.rejoin_after:
+            member.state = "ok"
+            if member.admitted:  # first admission is not a *re*-join
+                self._m_rejoins.inc(replica=member.id)
+            member.admitted = True
+
+    def _probe_failure(self, member: _Member) -> None:
+        member.probe_successes = 0
+        member.probe_failures += 1
+        member.probe_failures_total += 1
+        if member.state == "ok":
+            member.state = "suspect"
+        elif member.state == "suspect" and \
+                member.probe_failures >= self.config.eject_after:
+            member.state = "ejected"
+            self._m_ejections.inc(replica=member.id)
+        elif member.state == "rejoining":
+            member.state = "ejected"
+            self._m_ejections.inc(replica=member.id)
+
+    def _prober_loop(self) -> None:
+        while not self._stop.wait(self.config.probe_interval):
+            try:
+                self.probe_once()
+            except Exception:  # noqa: BLE001 — prober must survive
+                pass
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Router":
+        """Run one synchronous probe round (so freshly started replicas
+        are routable immediately) and start the background prober."""
+        # New members need rejoin_after consecutive successes;
+        # synchronous rounds at startup avoid an unroutable window.
+        for _ in range(max(1, self.config.rejoin_after)):
+            self.probe_once()
+        if self._prober is None:
+            self._prober = threading.Thread(
+                target=self._prober_loop, name="repro-router-prober",
+                daemon=True)
+            self._prober.start()
+        if self.config.hedge_ms is not None and self._hedge_pool is None:
+            size = max(4, 2 * max(1, len(self._members)))
+            self._hedge_pool = ThreadPoolExecutor(
+                max_workers=size, thread_name_prefix="repro-router-hedge")
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._prober is not None:
+            self._prober.join(timeout=10)
+            self._prober = None
+        if self._http is not None:
+            self._http.stop()
+            self._http = None
+        if self._hedge_pool is not None:
+            self._hedge_pool.shutdown(wait=False, cancel_futures=True)
+            self._hedge_pool = None
+
+    def __enter__(self) -> "Router":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def begin_drain(self) -> None:
+        """Refuse new requests with 503 + Retry-After (in-flight ones
+        finish).  Replica-side drains are the ReplicaSet's job — the
+        CLI propagates both."""
+        with self._lock:
+            self._draining = True
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _acquire(self, exclude: set) -> Optional[_Member]:
+        """Pick the least-loaded routable member not in ``exclude``
+        whose breaker admits a request; reserve an inflight slot."""
+        with self._lock:
+            candidates = [member for member in self._members.values()
+                          if member.routable() and member.id not in exclude]
+            # ok before suspect, then least-loaded, then round-robin.
+            order = {member.id: position for position, member
+                     in enumerate(self._members.values())}
+            members_count = max(1, len(self._members))
+            candidates.sort(key=lambda member: (
+                0 if member.state == "ok" else 1,
+                member.inflight,
+                (order[member.id] - self._rr) % members_count,
+            ))
+            for member in candidates:
+                if member.breaker.allow():
+                    member.inflight += 1
+                    self._rr += 1
+                    return member
+            return None
+
+    def _release(self, member: _Member, success: bool,
+                 breaker_neutral: bool = False) -> None:
+        with self._lock:
+            member.inflight = max(0, member.inflight - 1)
+            if breaker_neutral:
+                # 429: the replica is healthy, just full — don't let
+                # admission pressure trip the breaker, but don't clear
+                # an earlier failure streak either.
+                with_trial = member.breaker._trial_inflight
+                member.breaker._trial_inflight = False
+                if with_trial and member.breaker.state == "half_open":
+                    member.breaker.state = "open"
+                    member.breaker.opened_at = time.monotonic()
+            elif success:
+                member.breaker.record_success()
+            else:
+                member.breaker.record_failure()
+
+    def _send(self, member: _Member, method: str, path: str, body: bytes,
+              headers: Dict[str, str]) -> Optional[_Response]:
+        """One attempt against one replica.  ``None`` = connection-level
+        failure (no HTTP response at all)."""
+        request = urllib.request.Request(
+            member.url + path, data=body if method == "POST" else None,
+            headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.config.request_timeout) as response:
+                relay = {name: response.headers[name]
+                         for name in _RELAY_HEADERS
+                         if response.headers.get(name)}
+                return response.status, relay, response.read()
+        except urllib.error.HTTPError as exc:
+            relay = {name: exc.headers[name] for name in _RELAY_HEADERS
+                     if exc.headers and exc.headers.get(name)}
+            return exc.code, relay, exc.read()
+        except Exception:  # noqa: BLE001 — refused/reset/timeout
+            return None
+
+    def _backoff(self, attempt: int) -> float:
+        base = min(self.config.failover_backoff * (2 ** attempt),
+                   self.config.failover_backoff_cap)
+        with self._lock:
+            jitter = 0.5 + self._backoff_rng.random()  # [0.5, 1.5)
+        return base * jitter
+
+    def _shed(self, reason: str) -> _Response:
+        self._m_sheds.inc(reason=reason)
+        message = ("router is draining; retry against another cluster"
+                   if reason == "draining"
+                   else "no healthy replica available")
+        body = json.dumps({"error": message}).encode()
+        return 503, {
+            "Content-Type": "application/json",
+            "Retry-After": jittered_retry_after(self.config.retry_after),
+        }, body
+
+    def _forward_attempts(self, method: str, path: str, body: bytes,
+                          headers: Dict[str, str],
+                          tried: set) -> _Response:
+        """The failover loop: walk distinct replicas until one answers
+        with a non-failover status or the attempt budget runs out.
+        ``tried`` is shared with a hedge, which excludes it."""
+        last_response: Optional[_Response] = None
+        for attempt in range(self.config.max_failover + 1):
+            member = self._acquire(exclude=tried)
+            if member is None:
+                break
+            tried.add(member.id)
+            if attempt > 0:
+                self._m_failovers.inc()
+            response = self._send(member, method, path, body, headers)
+            if response is None:
+                self._release(member, success=False)
+            else:
+                status = response[0]
+                if status not in _FAILOVER_STATUSES:
+                    # 2xx, or the request's own fault (400/404/504):
+                    # the replica did its job — relay verbatim.
+                    self._release(member, success=True)
+                    return response
+                self._release(member, success=(status == 429),
+                              breaker_neutral=(status == 429))
+                last_response = response
+            if attempt < self.config.max_failover:
+                time.sleep(self._backoff(attempt))
+        if last_response is not None:
+            return last_response
+        return self._shed("no_healthy_replicas")
+
+    def forward(self, path: str, body: bytes = b"",
+                headers: Optional[Dict[str, str]] = None,
+                method: str = "POST") -> _Response:
+        """Route one client request; returns ``(status, headers, raw
+        body bytes)`` — the winning replica's bytes, unmodified."""
+        started = time.monotonic()
+        self._m_requests.inc()
+        with self._lock:
+            draining = self._draining
+        if draining:
+            response = self._shed("draining")
+        else:
+            headers = dict(headers or {})
+            headers.setdefault("Content-Type", "application/json")
+            tried: set = set()
+            if self.config.hedge_ms is None or self._hedge_pool is None:
+                response = self._forward_attempts(
+                    method, path, body, headers, tried)
+            else:
+                response = self._forward_hedged(
+                    method, path, body, headers, tried)
+        self._m_responses.inc(code=str(response[0]))
+        self._m_latency.observe(time.monotonic() - started)
+        return response
+
+    def _forward_hedged(self, method: str, path: str, body: bytes,
+                        headers: Dict[str, str], tried: set) -> _Response:
+        """Primary attempt; if silent past ``hedge_ms``, duplicate to a
+        replica the primary has not touched and take the first answer.
+        The loser is cancelled if unstarted, else runs to completion
+        and is discarded — the engine is deterministic and replicas are
+        stateless, so a duplicated request changes nothing."""
+        pool = self._hedge_pool
+        primary = pool.submit(self._forward_attempts, method, path, body,
+                              headers, tried)
+        done, _ = wait([primary], timeout=self.config.hedge_ms / 1e3)
+        if done:
+            return primary.result()
+        # `tried` is being mutated by the primary thread; a stale copy
+        # only risks the hedge landing on the primary's replica, which
+        # is wasteful but harmless.
+        hedge_tried = set(tried)
+        hedge = pool.submit(self._forward_attempts, method, path, body,
+                            headers, hedge_tried)
+        done, pending = wait([primary, hedge],
+                             timeout=self.config.request_timeout,
+                             return_when=FIRST_COMPLETED)
+        winner = hedge if hedge in done and primary not in done else primary
+        loser = primary if winner is hedge else hedge
+        if winner is hedge:
+            self._m_hedges.inc(outcome="won")
+        else:
+            self._m_hedges.inc(outcome="lost")
+        loser.cancel()
+        if winner not in done:  # both timed out: wait on the primary
+            return winner.result()
+        return winner.result()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """Aggregate ``/healthz``: ``ok`` (every member routable and
+        ok), ``degraded`` (some routable member), ``unhealthy`` (none),
+        ``draining``; plus the per-member table."""
+        with self._lock:
+            draining = self._draining
+            members = [member.as_dict()
+                       for member in self._members.values()]
+        routable = sum(1 for member in members
+                       if member["state"] in ("ok", "suspect"))
+        if draining:
+            status = "draining"
+        elif not members or routable == 0:
+            status = "unhealthy"
+        elif all(member["state"] == "ok" for member in members):
+            status = "ok"
+        else:
+            status = "degraded"
+        payload: Dict[str, Any] = {
+            "status": status,
+            "role": "router",
+            "replicas": members,
+            "routable": routable,
+            "draining": draining,
+        }
+        if self._replica_set is not None:
+            supervision = self._replica_set.stats()
+            payload["restarts"] = supervision["restarts"]
+            payload["quarantined"] = supervision["quarantined"]
+            if supervision["quarantined"] and status == "ok":
+                # A quarantined replica has left membership for good;
+                # the set is serving but permanently below strength.
+                payload["status"] = "degraded"
+        return payload
+
+    def stats(self) -> Dict[str, Any]:
+        from ..obs.metrics import parse_prometheus
+
+        snapshot = self.health()
+        parsed = parse_prometheus(self.metrics.render())
+        snapshot["counters"] = {
+            name: sum(series["samples"].values())
+            for name, series in parsed.items()
+            if series["type"] == "counter"
+        }
+        return snapshot
+
+    def metrics_text(self) -> str:
+        return self.metrics.render()
+
+    def serve_http(self, host: str = "127.0.0.1",
+                   port: int = 8000) -> "RouterFrontend":
+        """Expose the router over HTTP (daemon thread; ``port=0`` binds
+        an ephemeral port — read ``.url``)."""
+        if self._http is None:
+            self._http = RouterFrontend(self, host=host, port=port).start()
+        return self._http
+
+    def __repr__(self) -> str:
+        with self._lock:
+            states = {member.id: member.state
+                      for member in self._members.values()}
+        return f"Router(members={states}, draining={self._draining})"
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    """Relay handler: router-owned paths answered locally, model paths
+    forwarded to a replica and relayed byte-for-byte."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-router"
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass
+
+    def _router(self) -> Router:
+        return self.server.router
+
+    def _relay(self, response: _Response) -> None:
+        status, headers, body = response
+        self.send_response(status)
+        headers = dict(headers)
+        headers.setdefault("Content-Type", "application/json")
+        headers["Content-Length"] = str(len(body))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self._relay((status, {"Content-Type": "application/json"}, body))
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        router = self._router()
+        if self.path == "/healthz":
+            health = router.health()
+            status = 200 if health["status"] in ("ok", "degraded") else 503
+            self._send_json(status, health)
+        elif self.path == "/metrics":
+            body = router.metrics_text().encode()
+            self.send_response(200)
+            self.send_header("Content-Type", router.metrics.content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif self.path == "/v1/model":
+            self._relay(router.forward(self.path, method="GET"))
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        router = self._router()
+        length = int(self.headers.get("Content-Length", 0))
+        if self.path == "/admin/drain":
+            if 0 < length <= 64 * 1024 * 1024:
+                self.rfile.read(length)
+            router.begin_drain()
+            self._send_json(200, {"status": "draining"})
+            return
+        if length < 0 or length > 64 * 1024 * 1024:
+            self.close_connection = True
+            self._send_json(400, {"error": "request body too large"})
+            return
+        body = self.rfile.read(length) if length else b""
+        headers = {name: self.headers[name] for name in _FORWARD_HEADERS
+                   if self.headers.get(name)}
+        self._relay(router.forward(self.path, body, headers))
+
+
+class RouterFrontend:
+    """The router's own HTTP face (mirrors
+    :class:`~repro.serve.http.HTTPFrontend`)."""
+
+    def __init__(self, router: Router, host: str = "127.0.0.1",
+                 port: int = 8000) -> None:
+        self.httpd = ThreadingHTTPServer((host, port), _RouterHandler)
+        self.httpd.daemon_threads = True
+        self.httpd.router = router
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "RouterFrontend":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.httpd.serve_forever, name="repro-router-http",
+                daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self.httpd.shutdown()
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.httpd.server_close()
+
+    def __repr__(self) -> str:
+        return f"RouterFrontend(url={self.url!r})"

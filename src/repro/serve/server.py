@@ -48,6 +48,18 @@ from .workers import REQUEST_KINDS, ShardedPool
 __all__ = ["ServeConfig", "Server", "ResultCache"]
 
 
+def _package_version() -> Optional[str]:
+    """The installed ``repro`` version, looked up lazily: the package
+    ``__init__`` sets ``__version__`` *after* importing this module, so
+    a module-level import would observe it unset."""
+    try:
+        import repro
+
+        return getattr(repro, "__version__", None)
+    except Exception:  # pragma: no cover — defensive
+        return None
+
+
 @dataclass(frozen=True)
 class ServeConfig:
     """Knobs of one serving deployment.
@@ -97,6 +109,7 @@ class ServeConfig:
     max_retries: int = 3
     max_restarts: int = 2
     faults: Optional[str] = None
+    replica_id: Optional[str] = None
 
     def resolved_engine_batch(self) -> int:
         if self.engine_batch is not None:
@@ -220,6 +233,7 @@ class Server:
         self._loop_thread: Optional[threading.Thread] = None
         self._http = None
         self._started = False
+        self._started_at: Optional[float] = None
         self._closed = False
         self._draining = False
         self._inflight = 0
@@ -314,6 +328,7 @@ class Server:
                 metrics=self.metrics,
             )
             self._started = True
+            self._started_at = time.monotonic()
         return self
 
     def warmup(self) -> "Server":
@@ -635,7 +650,11 @@ class Server:
     def health(self) -> Dict[str, Any]:
         """The ``/healthz`` payload: overall ``status`` (``ok`` /
         ``degraded`` / ``unhealthy`` / ``draining``), per-shard state
-        and restart counters, admission occupancy, batcher counters.
+        and restart counters, admission occupancy, batcher counters —
+        plus identity fields a replica router can attribute membership
+        decisions to: a stable ``replica_id`` (``None`` outside a
+        :class:`~repro.serve.cluster.ReplicaSet`), ``uptime_s`` since
+        :meth:`start`, and the package ``version``.
 
         ``degraded`` means traffic is still served while at least one
         shard is down, respawning or catching up — the signal a replica
@@ -643,17 +662,26 @@ class Server:
         """
         with self._lock:
             started, draining = self._started, self._draining
+            started_at = self._started_at
             inflight = self._inflight
             pool, batcher = self._pool, self._batcher
+        identity = {
+            "replica_id": self.config.replica_id,
+            "version": _package_version(),
+        }
         if not started or pool is None:
             return {
                 "status": "draining" if draining else "unhealthy",
                 "started": False,
+                "uptime_s": 0.0,
+                **identity,
             }
         payload: Dict[str, Any] = pool.health()
         if draining:
             payload["status"] = "draining"
         payload["started"] = True
+        payload["uptime_s"] = round(time.monotonic() - started_at, 3)
+        payload.update(identity)
         payload["inflight"] = inflight
         payload["max_inflight"] = self.config.max_inflight
         payload["batcher"] = batcher.stats.as_dict()

@@ -89,6 +89,45 @@ class TestFaultPlan:
             FaultPlan.parse("kill:shard=0")
 
 
+class TestReplicaScope:
+    def test_parse_roundtrip(self):
+        plan = FaultPlan.parse("kill:replica=1,after=5")
+        assert plan.specs == (
+            FaultSpec("kill", shard=1, after=5, scope="replica"),
+        )
+        assert str(plan) == "kill:replica=1,after=5"
+        assert FaultPlan.parse(str(plan)) == plan
+
+    def test_exactly_one_target_required(self):
+        with pytest.raises(ValueError, match="shard"):
+            FaultPlan.parse("kill:shard=0,replica=1")  # both given
+        with pytest.raises(ValueError, match="shard"):
+            FaultPlan.parse("kill:after=2")  # neither given
+
+    def test_scope_filtering(self):
+        plan = FaultPlan.parse(
+            "kill:replica=1,after=5; kill:shard=1; delay:replica=0,ms=20")
+        # for_shard only sees shard-scoped specs, for_replica only
+        # replica-scoped ones — the same index never cross-fires.
+        assert [str(s) for s in plan.for_shard(1)] == ["kill:shard=1"]
+        assert [str(s) for s in plan.for_replica(1)] == \
+            ["kill:replica=1,after=5"]
+        assert [str(s) for s in plan.for_replica(0)] == \
+            ["delay:replica=0,ms=20"]
+
+    def test_without_kill_is_scope_aware(self):
+        plan = FaultPlan.parse("kill:replica=1; kill:shard=1")
+        pruned = plan.without_kill(1, scope="replica")
+        assert [str(s) for s in pruned.specs] == ["kill:shard=1"]
+        # Default scope still prunes shard kills, as supervision does.
+        assert [str(s) for s in plan.without_kill(1).specs] == \
+            ["kill:replica=1"]
+
+    def test_invalid_scope_rejected(self):
+        with pytest.raises(ValueError, match="scope"):
+            FaultSpec("kill", shard=0, scope="cluster")
+
+
 class TestSupervision:
     def test_kill_recovers_byte_identical(self, model, images):
         # A shard dies mid-load; its batch is retried on the healthy
@@ -307,7 +346,7 @@ class TestHTTPFaultMapping:
             status, headers, payload = self.post(
                 url, "/v1/predict", {"inputs": images[0].tolist()})
             assert status == 429
-            assert int(headers["Retry-After"]) >= 1
+            assert float(headers["Retry-After"]) > 0
             assert "max_inflight" in payload["error"]
 
     def test_drain_maps_to_503_and_healthz_follows(self, model, images):
@@ -318,7 +357,7 @@ class TestHTTPFaultMapping:
             status, headers, _ = self.post(
                 url, "/v1/predict", {"inputs": images[0].tolist()})
             assert status == 503  # shed, not a 500
-            assert int(headers["Retry-After"]) >= 1
+            assert float(headers["Retry-After"]) > 0
             with pytest.raises(urllib.error.HTTPError) as info:
                 urllib.request.urlopen(url + "/healthz", timeout=30)
             assert info.value.code == 503

@@ -166,3 +166,68 @@ class TestHTTPErrors:
                 "inputs_imag": [[0.0, 0.0], [0.0, 0.0]],
             }).encode(), 400,
         )
+
+
+class TestIdentityAndDrain:
+    """Replica identity on /healthz, the drain endpoint, and the
+    jittered Retry-After contract routers and clients rely on."""
+
+    def test_healthz_identity_fields(self, served):
+        _, url = served
+        _, payload = get(url, "/healthz")
+        import repro
+
+        assert payload["replica_id"] is None  # standalone server
+        assert payload["version"] == repro.__version__
+        assert payload["uptime_s"] >= 0
+
+    def test_replica_id_is_exposed(self, model):
+        config = ServeConfig(max_batch=4, replica_id="r7")
+        with Server(model=model, config=config) as server:
+            url = server.serve_http(port=0).url
+            _, payload = get(url, "/healthz")
+            assert payload["replica_id"] == "r7"
+
+    def test_uptime_advances(self, model):
+        with Server(model=model) as server:
+            url = server.serve_http(port=0).url
+            _, first = get(url, "/healthz")
+            import time
+
+            time.sleep(0.05)
+            _, second = get(url, "/healthz")
+            assert second["uptime_s"] > first["uptime_s"] >= 0
+
+    def test_admin_drain_endpoint(self, model):
+        with Server(model=model) as server:
+            url = server.serve_http(port=0).url
+            status, payload = post(url, "/admin/drain", {})
+            assert status == 200
+            assert payload["status"] == "draining"
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(url + "/healthz", timeout=30)
+            assert info.value.code == 503
+
+    def test_retry_after_is_jittered(self, model, images):
+        # max_inflight=0 makes every request shed with 429; the
+        # suggested retry is max_delay * 4 = 1.0s, jittered into
+        # [0.75, 1.25) so herds of retrying clients spread out.
+        from repro.serve.http import RETRY_AFTER_JITTER
+
+        config = ServeConfig(max_inflight=0, max_delay=0.25)
+        with Server(model=model, config=config) as server:
+            url = server.serve_http(port=0).url
+            seen = []
+            for _ in range(20):
+                request = urllib.request.Request(
+                    url + "/v1/predict",
+                    data=json.dumps(
+                        {"inputs": images[0].tolist()}).encode(),
+                    headers={"Content-Type": "application/json"})
+                with pytest.raises(urllib.error.HTTPError) as info:
+                    urllib.request.urlopen(request, timeout=30)
+                assert info.value.code == 429
+                seen.append(float(info.value.headers["Retry-After"]))
+        low, high = RETRY_AFTER_JITTER
+        assert all(low <= value <= high for value in seen)
+        assert len(set(seen)) >= 2  # actually jittered, not constant
