@@ -16,6 +16,8 @@ Subpackage guide:
 * :mod:`repro.sparsify` — block / unstructured / bank-balanced sparsity + SLR
 * :mod:`repro.twopi`    — Gumbel-Softmax 2-pi periodic phase optimization
 * :mod:`repro.data`     — synthetic MNIST/FMNIST/KMNIST/EMNIST-like datasets
+* :mod:`repro.physics`  — physics-robustness scenarios (differential
+  detection, partial coherence, discrete codesign, deployment gap)
 * :mod:`repro.pipeline` — the paper's experiment recipes and table harness
 * :mod:`repro.runtime`  — compiled inference fast path + shared kernel cache
 * :mod:`repro.serve`    — model artifacts + batched, sharded inference service
@@ -27,6 +29,7 @@ from . import (
     data,
     donn,
     optics,
+    physics,
     pipeline,
     roughness,
     runtime,
@@ -44,6 +47,7 @@ __all__ = [
     "data",
     "donn",
     "optics",
+    "physics",
     "pipeline",
     "roughness",
     "runtime",

@@ -341,6 +341,15 @@ def build_parser() -> argparse.ArgumentParser:
              "than this fraction (e.g. 0.25 = 25%% slower); off by "
              "default because CI machines are noisy",
     )
+
+    recipes_p = sub.add_parser(
+        "recipes",
+        help="list every registered recipe with its stage composition",
+    )
+    recipes_p.add_argument(
+        "--paper-only", action="store_true",
+        help="only the recipes marked as published table rows",
+    )
     return parser
 
 
@@ -539,7 +548,7 @@ def _cmd_sweep(args) -> int:
 def _cmd_report(args) -> int:
     from itertools import groupby
 
-    from .pipeline import load_runs, table_from_runs
+    from .pipeline import format_scenarios, load_runs, table_from_runs
 
     if args.compare is not None:
         if args.runs_dir is not None:
@@ -575,6 +584,13 @@ def _cmd_report(args) -> int:
         print(format_table(table))
         print()
         print(format_comparison(table))
+    # Physics-scenario runs get their trained-vs-deployed columns; the
+    # block is empty (and unprinted) for legacy runs, so existing report
+    # output stays byte-identical.
+    scenarios = format_scenarios(runs)
+    if scenarios:
+        print()
+        print(scenarios)
     print()
     print(f"rendered {len(runs)} stored run(s) from {args.runs_dir}")
     return 0
@@ -932,6 +948,22 @@ def _cmd_tail(args) -> int:
     return 0
 
 
+def _cmd_recipes(args) -> int:
+    from .pipeline import get_recipe, paper_recipe_names, recipe_names
+
+    names = paper_recipe_names() if args.paper_only else recipe_names()
+    width = max(len(name) for name in names)
+    for name in names:
+        recipe = get_recipe(name)
+        marker = "*" if recipe.paper_row else " "
+        stages = " -> ".join(recipe.stage_names())
+        print(f"{marker} {name:<{width}}  [{recipe.label}]  {stages}")
+    print()
+    print(f"{len(names)} registered recipe(s); * = published table row. "
+          "Run one with `repro run <name>`.")
+    return 0
+
+
 def _cmd_bench_compare(args) -> int:
     from .obs import bench_compare, format_bench_compare
 
@@ -957,6 +989,7 @@ _COMMANDS = {
     "bench-serve": _cmd_bench_serve,
     "tail": _cmd_tail,
     "bench-compare": _cmd_bench_compare,
+    "recipes": _cmd_recipes,
 }
 
 

@@ -6,7 +6,12 @@ land on a detector plane whose per-region intensity sums are the class
 logits.
 """
 
-from .detectors import DetectorLayout, DetectorPlane
+from .detectors import (
+    DETECTOR_MODES,
+    DetectorLayout,
+    DetectorPlane,
+    DetectorSpec,
+)
 from .encoding import bilinear_resize, encode_amplitude
 from .evaluation import (
     accuracy,
@@ -25,8 +30,10 @@ from .training import (
 )
 
 __all__ = [
+    "DETECTOR_MODES",
     "DetectorLayout",
     "DetectorPlane",
+    "DetectorSpec",
     "bilinear_resize",
     "encode_amplitude",
     "DiffractiveLayer",

@@ -4,21 +4,46 @@ Ten square detector regions are placed evenly on the output plane; the sum
 of light intensity inside each region forms the class logit vector and
 ``argmax`` yields the prediction.  The readout is a single constant matrix
 multiply, so it is differentiable through :mod:`repro.autodiff` for free.
+
+Two readout *modes* exist (selected by :class:`DetectorSpec` /
+``DONNConfig.detector_mode``):
+
+* ``"standard"`` — one region per class, logit = region intensity sum;
+* ``"differential"`` — class-specific region *pairs* (Li et al. 2019,
+  "Class-specific differential detection"): each class owns a positive
+  and a negative region and its logit is the normalized intensity
+  *difference* ``(I+ - I-) / I_total``, which roughly doubles the
+  decision margin of experimentally realized D2NNs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..autodiff import Tensor, as_tensor
 from ..autodiff import ops
 
-__all__ = ["DetectorLayout", "DetectorPlane"]
+__all__ = ["DetectorLayout", "DetectorPlane", "DetectorSpec",
+           "DETECTOR_MODES"]
 
 Region = Tuple[int, int, int]  # (top row, left column, side length)
+
+#: The readout modes a detector plane understands.
+DETECTOR_MODES = ("standard", "differential")
+
+
+def _default_row_pattern(num_classes: int) -> Tuple[int, ...]:
+    """Rows-of-regions placement for ``num_classes`` (the published
+    ten-class layout keeps its ``(3, 4, 3)`` shape; other counts get
+    balanced rows of at most four)."""
+    if num_classes == 10:
+        return (3, 4, 3)
+    rows = max(1, -(-num_classes // 4))  # ceil
+    base, extra = divmod(num_classes, rows)
+    return tuple(base + (1 if row < extra else 0) for row in range(rows))
 
 
 @dataclass(frozen=True)
@@ -79,6 +104,68 @@ class DetectorLayout:
                 regions.append((top, left, region_size))
         return cls(n=n, regions=tuple(regions))
 
+    @classmethod
+    def differential_pairs(
+        cls,
+        n: int,
+        num_classes: int = 10,
+        region_size: int | None = None,
+        row_pattern: Sequence[int] | None = None,
+        gap: int = 1,
+    ) -> "DetectorLayout":
+        """Class-specific detector *pairs* (Li et al. 2019).
+
+        Each class gets two vertically stacked square regions around the
+        standard layout's class center — the positive region on top, the
+        negative below, separated by ``gap`` rows.  Regions are ordered
+        ``[pos_0, neg_0, pos_1, neg_1, ...]``; consumers split them by
+        parity.  ``region_size`` defaults to ``max(1, n // 14)`` (smaller
+        than the standard ``n // 10`` so a pair's vertical extent stays
+        within one class cell).
+        """
+        if num_classes < 2:
+            raise ValueError(
+                f"differential detection needs >= 2 classes, got "
+                f"{num_classes}"
+            )
+        if gap < 0:
+            raise ValueError(f"pair gap must be >= 0 rows, got {gap}")
+        if row_pattern is None:
+            row_pattern = _default_row_pattern(num_classes)
+        if sum(row_pattern) != num_classes:
+            raise ValueError(
+                f"row pattern {tuple(row_pattern)} does not place "
+                f"{num_classes} classes"
+            )
+        if region_size is None:
+            region_size = max(1, n // 14)
+        rows = len(row_pattern)
+        pair_height = 2 * region_size + gap
+        regions: List[Region] = []
+        for row_index, count in enumerate(row_pattern):
+            center_y = (row_index + 1) * n // (rows + 1)
+            pos_top = center_y - region_size - (gap + 1) // 2
+            neg_top = pos_top + region_size + gap
+            if pos_top < 0 or neg_top + region_size > n:
+                raise ValueError(
+                    f"differential pair of height {pair_height} around "
+                    f"row center {center_y} does not fit on an {n} x {n} "
+                    f"plane; shrink region_size (got {region_size}) or "
+                    f"the pair gap (got {gap})"
+                )
+            for col_index in range(count):
+                center_x = (col_index + 1) * n // (count + 1)
+                left = center_x - region_size // 2
+                if left < 0 or left + region_size > n:
+                    raise ValueError(
+                        f"differential pair at column center {center_x} "
+                        f"with region_size {region_size} falls off the "
+                        f"{n} x {n} plane; shrink region_size"
+                    )
+                regions.append((pos_top, left, region_size))
+                regions.append((neg_top, left, region_size))
+        return cls(n=n, regions=tuple(regions))
+
     def mask_stack(self) -> np.ndarray:
         """``(num_classes, n, n)`` boolean masks, one per region."""
         masks = np.zeros((self.num_classes, self.n, self.n), dtype=bool)
@@ -94,6 +181,69 @@ class DetectorLayout:
         return cover
 
 
+@dataclass(frozen=True)
+class DetectorSpec:
+    """The serializable recipe for a detector head: mode + class count +
+    region size.
+
+    A spec is *geometry-free* — :meth:`layout` derives the concrete
+    region placement for any plane size ``n`` — which is what lets model
+    artifacts carry the head definition (``save_model`` stores the spec;
+    ``load_model`` rejects artifacts whose stored spec disagrees with
+    the config-derived one) and lets ``repro serve`` reload differential
+    runs without re-deriving geometry by hand.
+    """
+
+    mode: str = "standard"
+    num_classes: int = 10
+    region_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in DETECTOR_MODES:
+            raise ValueError(
+                f"unknown detector mode {self.mode!r}; expected one of "
+                f"{DETECTOR_MODES}"
+            )
+        if self.num_classes < 2:
+            raise ValueError(
+                f"need >= 2 classes, got {self.num_classes}"
+            )
+        if self.region_size is not None and self.region_size < 1:
+            raise ValueError(
+                f"region size must be >= 1, got {self.region_size}"
+            )
+
+    def layout(self, n: int) -> DetectorLayout:
+        """Concrete region placement on an ``n x n`` plane."""
+        if self.mode == "differential":
+            return DetectorLayout.differential_pairs(
+                n, num_classes=self.num_classes,
+                region_size=self.region_size,
+            )
+        return DetectorLayout.evenly_spaced(
+            n, num_classes=self.num_classes, region_size=self.region_size
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (artifact headers, run manifests)."""
+        return {"mode": self.mode, "num_classes": self.num_classes,
+                "region_size": self.region_size}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DetectorSpec":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"expected a detector-spec mapping, got "
+                f"{type(data).__name__}"
+            )
+        unknown = sorted(set(data) - {"mode", "num_classes", "region_size"})
+        if unknown:
+            raise ValueError(
+                f"unknown detector-spec key(s): {', '.join(unknown)}"
+            )
+        return cls(**data)
+
+
 class DetectorPlane:
     """Differentiable intensity readout over a :class:`DetectorLayout`.
 
@@ -101,6 +251,12 @@ class DetectorPlane:
     ----------
     layout:
         Region placement.
+    mode:
+        ``"standard"`` (one region per class, logit = region sum) or
+        ``"differential"`` (paired regions in ``[pos, neg]`` order —
+        see :meth:`DetectorLayout.differential_pairs`; logit = region
+        *difference*, normalized by the total intensity all regions
+        capture).
     normalize:
         Divide each sample's region sums by their total, so the logits
         describe the *relative* intensity distribution over detectors.
@@ -114,20 +270,51 @@ class DetectorPlane:
     """
 
     def __init__(self, layout: DetectorLayout, normalize: bool = True,
-                 gain: float = 10.0) -> None:
+                 gain: float = 10.0, mode: str = "standard") -> None:
         if gain <= 0:
             raise ValueError(f"gain must be positive, got {gain}")
+        if mode not in DETECTOR_MODES:
+            raise ValueError(
+                f"unknown detector mode {mode!r}; expected one of "
+                f"{DETECTOR_MODES}"
+            )
         self.layout = layout
+        self.mode = mode
         self.normalize = bool(normalize)
         self.gain = float(gain)
         masks = layout.mask_stack().astype(np.float64)
-        #: Constant ``(n*n, num_classes)`` readout matrix.
-        self._readout_matrix = Tensor(
-            masks.reshape(layout.num_classes, -1).T.copy()
-        )
+        flat = masks.reshape(len(layout.regions), -1).T
+        if mode == "differential":
+            if len(layout.regions) % 2:
+                raise ValueError(
+                    f"differential readout needs paired regions "
+                    f"([pos, neg] per class) but the layout holds "
+                    f"{len(layout.regions)} regions, which cannot be "
+                    "split into pairs; add/remove a region or use "
+                    "mode='standard'"
+                )
+            #: Signed ``(n*n, num_classes)`` readout: +1 inside a
+            #: class's positive region, -1 inside its negative one.
+            self._readout_matrix = Tensor(
+                np.ascontiguousarray(flat[:, 0::2] - flat[:, 1::2])
+            )
+            #: ``(n*n, 1)`` total-capture vector: 1 inside *any* region.
+            #: Differential logits are signed, so their sum is not the
+            #: captured intensity — normalization needs this explicitly.
+            self._total_vector: Optional[Tensor] = Tensor(
+                np.ascontiguousarray(flat.sum(axis=1, keepdims=True))
+            )
+        else:
+            #: Constant ``(n*n, num_classes)`` readout matrix.
+            self._readout_matrix = Tensor(flat.copy())
+            # Standard logits are non-negative region sums, so the
+            # captured total is just their sum (see ``readout``).
+            self._total_vector = None
 
     @property
     def num_classes(self) -> int:
+        if self.mode == "differential":
+            return len(self.layout.regions) // 2
         return self.layout.num_classes
 
     def readout(self, intensity) -> Tensor:
@@ -146,7 +333,12 @@ class DetectorPlane:
         flat = intensity.reshape(batch, n * n)
         logits = flat @ self._readout_matrix
         if self.normalize:
-            total = ops.sum(logits, axis=-1, keepdims=True)
+            if self._total_vector is None:
+                # Standard mode: region sums are non-negative, so the
+                # captured total *is* the logit sum.
+                total = ops.sum(logits, axis=-1, keepdims=True)
+            else:
+                total = flat @ self._total_vector
             logits = logits / (total + 1e-20) * self.gain
         return logits.reshape(self.num_classes) if squeeze else logits
 

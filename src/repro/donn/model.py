@@ -16,7 +16,12 @@ from ..autodiff import Module, Tensor, no_grad
 from ..autodiff import ops
 from ..optics import Propagator, SimulationGrid, constants
 from ..runtime import InferenceEngine, ScratchBuffers
-from .detectors import DetectorLayout, DetectorPlane
+from .detectors import (
+    DETECTOR_MODES,
+    DetectorLayout,
+    DetectorPlane,
+    DetectorSpec,
+)
 from .encoding import encode_amplitude
 from .layers import DiffractiveLayer
 
@@ -45,12 +50,21 @@ class DONNConfig:
     parametrization: str = "sigmoid"
     detector_normalize: bool = True
     detector_gain: float = 10.0
+    #: ``"standard"`` (one region per class) or ``"differential"``
+    #: (class-specific region pairs, Li et al. 2019) — see
+    #: :class:`~repro.donn.detectors.DetectorSpec`.
+    detector_mode: str = "standard"
 
     def __post_init__(self) -> None:
         if self.num_layers < 1:
             raise ValueError(f"need >= 1 diffractive layer, got {self.num_layers}")
         if self.num_classes < 2:
             raise ValueError(f"need >= 2 classes, got {self.num_classes}")
+        if self.detector_mode not in DETECTOR_MODES:
+            raise ValueError(
+                f"unknown detector_mode {self.detector_mode!r}; expected "
+                f"one of {DETECTOR_MODES}"
+            )
 
     @property
     def grid(self) -> SimulationGrid:
@@ -65,12 +79,16 @@ class DONNConfig:
             constants.PAPER_MASK_SIZE, constants.PAPER_DISTANCE
         )
 
-    def detector_layout(self) -> DetectorLayout:
-        return DetectorLayout.evenly_spaced(
-            n=self.n,
+    def detector_spec(self) -> DetectorSpec:
+        """The serializable detector-head recipe this config implies."""
+        return DetectorSpec(
+            mode=self.detector_mode,
             num_classes=self.num_classes,
             region_size=self.detector_region_size,
         )
+
+    def detector_layout(self) -> DetectorLayout:
+        return self.detector_spec().layout(self.n)
 
     @classmethod
     def paper(cls, **overrides) -> "DONNConfig":
@@ -122,10 +140,12 @@ class DONN(Module):
         #: Final hop from the last mask to the detector plane.
         self.to_detector = Propagator(grid, distance,
                                       pad_factor=config.pad_factor)
+        spec = config.detector_spec()
         self.detector = DetectorPlane(
-            config.detector_layout(),
+            spec.layout(config.n),
             normalize=config.detector_normalize,
             gain=config.detector_gain,
+            mode=spec.mode,
         )
         #: Scratch pool shared by every engine built off this model, so
         #: repeated ``predict`` calls reuse the same padded buffers.

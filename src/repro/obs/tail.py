@@ -77,6 +77,7 @@ def _fold_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         "train_accuracy": None,
         "test_accuracy": None,
         "accuracy": None,      # final (run_end)
+        "deployed_accuracy": None,  # physics scenarios (deploy_gap stage)
         "wall_time": None,     # final (run_end)
         "started_ts": None,
         "last_ts": None,
@@ -109,6 +110,11 @@ def _fold_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
             index = record.get("index")
             if isinstance(index, int):
                 state["stages_done"] = max(state["stages_done"], index + 1)
+            metrics = record.get("metrics")
+            if isinstance(metrics, dict):
+                deployed = metrics.get("deployed_accuracy")
+                if isinstance(deployed, (int, float)):
+                    state["deployed_accuracy"] = deployed
         elif event == "epoch":
             state["epoch"] = record.get("epoch")
             state["epochs"] = record.get("epochs")
@@ -184,7 +190,8 @@ def _point_snapshot(name: str, run_dir: Path,
     point.update({key: state[key] for key in (
         "stages", "stage", "stage_index", "stages_done", "epoch", "epochs",
         "loss_history", "accuracy_history", "loss",
-        "train_accuracy", "test_accuracy", "accuracy", "wall_time",
+        "train_accuracy", "test_accuracy", "accuracy",
+        "deployed_accuracy", "wall_time",
         "started_ts", "last_ts", "retries", "failure",
     )})
     # Epochs/second over the recent epoch events (throughput signal).
@@ -381,6 +388,10 @@ def render_text(snap: Dict[str, Any], color: Optional[bool] = None) -> str:
             f"acc {_fmt_value(accuracy)}",
             f"wall {_fmt_duration(point['wall_time'])}",
         ]
+        # Physics-scenario runs report the fabricated-system accuracy;
+        # the column is absent otherwise (legacy output unchanged).
+        if point.get("deployed_accuracy") is not None:
+            bits.insert(6, f"deploy {_fmt_value(point['deployed_accuracy'])}")
         if point["epochs_per_s"]:
             bits.append(f"{point['epochs_per_s']:.2f} ep/s")
         if point["retries"]:

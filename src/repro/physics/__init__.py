@@ -1,0 +1,49 @@
+"""Physics-robustness scenarios: the stage library behind the registry.
+
+The paper's core claim is that physics-aware modeling changes what a
+trained DONN actually *delivers* when deployed.  This subsystem populates
+the recipe registry with four scenarios from the surrounding literature —
+each one a registered stage list, with **zero** edits to the pipeline
+core (the PR-5 extensibility claim, proven by exercise):
+
+* ``differential`` — class-specific differential detection (Li et al.
+  2019): paired positive/negative detector regions whose normalized
+  intensity *difference* forms each logit
+  (:class:`DifferentialDetectorStage` rewires the model head before
+  training; the spec round-trips through model artifacts and serving).
+* ``partial_coherence`` — partial spatial coherence by mode
+  decomposition (Filipovich et al. 2023): mutually incoherent source
+  modes add in intensity (:class:`CoherenceSpec` screens, scored by
+  :class:`CoherenceScoreStage` through the engine's ``source_modes``
+  option).  One mode collapses exactly to the coherent engine
+  (test-enforced).
+* ``quantized`` — Gumbel-softmax discrete codesign (Li et al. 2022, the
+  paper's sibling): temperature-annealed straight-through training over
+  ``K`` fabricable phase levels (:class:`QuantizeStage`), fused-op
+  compatible.
+* ``deploy_gap`` — every scenario ends with :class:`DeployGapStage`,
+  which wraps the crosstalk/fabrication simulators so the run directory
+  reports trained-vs-deployed accuracy (``deployed_accuracy``,
+  ``deployment_gap`` in ``run.json``).
+
+Import of this package registers the recipes (see
+:mod:`repro.physics.recipes`); :mod:`repro.pipeline` triggers that
+import, so worker processes resolve scenario names exactly like the
+built-ins.
+"""
+
+from .coherence import CoherenceScoreStage, CoherenceSpec
+from .deployment import DeployGapStage
+from .differential import DifferentialDetectorStage
+from .quantize import QuantizeStage
+from .recipes import SCENARIO_RECIPES, register_scenarios
+
+__all__ = [
+    "CoherenceSpec",
+    "CoherenceScoreStage",
+    "DeployGapStage",
+    "DifferentialDetectorStage",
+    "QuantizeStage",
+    "SCENARIO_RECIPES",
+    "register_scenarios",
+]

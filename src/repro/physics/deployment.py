@@ -1,0 +1,97 @@
+"""Deployment-gap scoring: trained vs fabricated accuracy in every run.
+
+The paper's whole argument is that the numerical model flatters the
+fabricated device: interpixel crosstalk and etch-depth error degrade the
+deployed system, and roughness is the knob that controls how much.  This
+stage wraps the existing crosstalk/fabrication simulators
+(:mod:`repro.optics.crosstalk`, :func:`repro.donn.evaluation.deployed_accuracy`)
+into a composable recipe step, so *every* physics scenario ends by
+reporting ``trained_accuracy``, ``deployed_accuracy`` and their gap in
+``run.json`` — the columns ``repro report``/``repro tail`` surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..backend import precision_scope
+from ..donn import accuracy, deployed_accuracy
+from ..optics import CrosstalkModel
+from ..pipeline.stages import RunContext, Stage
+
+__all__ = ["DeployGapStage"]
+
+
+class DeployGapStage(Stage):
+    """Score the fabricated (crosstalk-degraded) system against the ideal.
+
+    When the run smoothed its masks (``ctx.twopi_solutions`` present)
+    and ``smoothed=True``, the fabricated profiles include the 2-pi
+    add-ons — i.e. the stage deploys what would actually be etched.
+    Reports the ideal test accuracy, the deployed accuracy, their gap
+    and the RMS phase error the crosstalk model induces.
+    """
+
+    name = "deploy_gap"
+
+    def __init__(self, strength: float = 0.15,
+                 scatter_coefficient: float = 0.0,
+                 smoothed: bool = True) -> None:
+        if strength < 0:
+            raise ValueError(
+                f"crosstalk strength must be >= 0, got {strength}"
+            )
+        if scatter_coefficient < 0:
+            raise ValueError(
+                f"scatter_coefficient must be >= 0, got "
+                f"{scatter_coefficient}"
+            )
+        self.strength = float(strength)
+        self.scatter_coefficient = float(scatter_coefficient)
+        self.smoothed = bool(smoothed)
+
+    def params(self) -> Dict[str, Any]:
+        return {
+            "strength": self.strength,
+            "scatter_coefficient": self.scatter_coefficient,
+            "smoothed": self.smoothed,
+        }
+
+    def run(self, ctx: RunContext) -> RunContext:
+        crosstalk = CrosstalkModel(
+            strength=self.strength,
+            scatter_coefficient=self.scatter_coefficient,
+            wavelength=ctx.config.system.wavelength,
+        )
+        with precision_scope("double"):
+            ideal = ctx.accuracy
+            if ideal is None:
+                ideal = accuracy(ctx.model, ctx.test)
+            phases = ctx.model.phases(wrapped=True)
+            used_smoothed = bool(self.smoothed and ctx.twopi_solutions)
+            if used_smoothed:
+                if len(ctx.twopi_solutions) != len(phases):
+                    raise ValueError(
+                        f"{len(ctx.twopi_solutions)} 2-pi solutions for "
+                        f"{len(phases)} layers"
+                    )
+                phases = [
+                    phase + solution.offsets
+                    for phase, solution in zip(phases, ctx.twopi_solutions)
+                ]
+            deployed = deployed_accuracy(ctx.model, ctx.test, crosstalk,
+                                         phases=phases)
+            rms = float(np.mean([
+                crosstalk.phase_error(phase) for phase in phases
+            ]))
+        ctx.add_metrics(
+            trained_accuracy=ideal,
+            deployed_accuracy=deployed,
+            deployment_gap=ideal - deployed,
+            crosstalk_strength=self.strength,
+            phase_rms_error=rms,
+            smoothed=used_smoothed,
+        )
+        return ctx

@@ -1,0 +1,64 @@
+"""Differential detection head rewiring (Li et al. 2019).
+
+Class-specific *differential* detection reads each logit as the
+normalized intensity difference between a paired positive and negative
+detector region — doubling the usable dynamic range of the readout and
+making the head robust to common-mode drift.  The geometry and signed
+readout live in :mod:`repro.donn.detectors`; this stage flips a freshly
+initialized model onto the differential head *before* training so the
+phase masks learn to steer light into the signed pairs from scratch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+from ..donn import DetectorPlane
+from ..pipeline.stages import RunContext, Stage
+
+__all__ = ["DifferentialDetectorStage"]
+
+
+class DifferentialDetectorStage(Stage):
+    """Switch the run's model to the differential detector head.
+
+    Rewrites ``ctx.config.system`` with ``detector_mode="differential"``
+    (so persisted run configs, saved artifacts and served models all
+    carry the head they were trained with) and rebuilds the model's
+    :class:`~repro.donn.detectors.DetectorPlane` in place.  Must run
+    before :class:`~repro.pipeline.stages.TrainStage`; the trainable
+    phase parameters are untouched.
+    """
+
+    name = "differential_head"
+
+    def __init__(self, region_size: Optional[int] = None) -> None:
+        if region_size is not None and int(region_size) < 1:
+            raise ValueError(
+                f"region_size must be >= 1, got {region_size}"
+            )
+        self.region_size = None if region_size is None else int(region_size)
+
+    def params(self) -> Dict[str, Any]:
+        return {"region_size": self.region_size}
+
+    def run(self, ctx: RunContext) -> RunContext:
+        changes: Dict[str, Any] = {"detector_mode": "differential"}
+        if self.region_size is not None:
+            changes["detector_region_size"] = self.region_size
+        system = dataclasses.replace(ctx.config.system, **changes)
+        ctx.config = ctx.config.with_overrides(system=system)
+        ctx.model.config = system
+        spec = system.detector_spec()
+        ctx.model.detector = DetectorPlane(
+            spec.layout(system.n),
+            normalize=system.detector_normalize,
+            gain=system.detector_gain,
+            mode=spec.mode,
+        )
+        ctx.add_metrics(
+            detector_mode=spec.mode,
+            detector_regions=len(ctx.model.detector.layout.regions),
+        )
+        return ctx

@@ -1,0 +1,167 @@
+"""Gumbel-softmax discrete codesign (Li et al. 2022).
+
+Fabricable phase masks offer ``K`` discrete levels, not a continuum.
+This stage converts a dense-trained model into a discretely parametrized
+one and fine-tunes it with the straight-through Gumbel-softmax trick:
+each pixel holds a ``K``-way logit vector, a temperature-annealed hard
+sample selects one level per forward pass, and gradients flow through
+the soft relaxation.  The sampler is the same
+:func:`repro.twopi.gumbel_softmax` kernel the 2pi smoother (and its
+benchmark) already exercises; the sampled phase feeds the fused
+``diffmod`` path via the direct parametrization, so the discrete forward
+costs the same as the continuous one.
+
+At the end the argmax level is frozen into every layer and the model is
+left in the direct parametrization with *exactly* quantized phases —
+what a fabricated mask would hold.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..autodiff import Adam, Parameter, Tensor, ops
+from ..autodiff.rng import spawn_rng
+from ..backend import precision_scope
+from ..donn import Trainer, TrainingDiverged, accuracy
+from ..optics.constants import TWO_PI
+from ..pipeline.stages import RunContext, Stage
+from ..twopi import gumbel_softmax
+
+__all__ = ["QuantizeStage"]
+
+
+class QuantizeStage(Stage):
+    """Fine-tune onto ``levels`` discrete phase levels via Gumbel-softmax.
+
+    Runs after :class:`~repro.pipeline.stages.TrainStage`: per-pixel
+    level logits are initialized sharply around the nearest level to the
+    trained continuous phase, then annealed from ``tau_start`` down to
+    ``tau_end`` (geometric schedule) over ``epochs`` passes while the
+    classification(+regularizer) loss is minimized over the logits.  The
+    final model carries the hard argmax levels; the reported
+    ``quantization_gap`` (continuous minus quantized accuracy) is the
+    cost of fabricable discreteness.
+    """
+
+    name = "quantize"
+
+    def __init__(self, levels: int = 8, epochs: int = 4, lr: float = 0.05,
+                 tau_start: float = 2.0, tau_end: float = 0.2,
+                 init_sharpness: float = 8.0,
+                 seed_offset: int = 307) -> None:
+        if levels < 2:
+            raise ValueError(f"need >= 2 phase levels, got {levels}")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if lr <= 0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if tau_start <= 0 or tau_end <= 0:
+            raise ValueError(
+                f"temperatures must be > 0, got tau_start={tau_start}, "
+                f"tau_end={tau_end}"
+            )
+        if init_sharpness < 0:
+            raise ValueError(
+                f"init_sharpness must be >= 0, got {init_sharpness}"
+            )
+        self.levels = int(levels)
+        self.epochs = int(epochs)
+        self.lr = float(lr)
+        self.tau_start = float(tau_start)
+        self.tau_end = float(tau_end)
+        self.init_sharpness = float(init_sharpness)
+        self.seed_offset = int(seed_offset)
+
+    def params(self) -> Dict[str, Any]:
+        return {
+            "levels": self.levels,
+            "epochs": self.epochs,
+            "lr": self.lr,
+            "tau_start": self.tau_start,
+            "tau_end": self.tau_end,
+            "init_sharpness": self.init_sharpness,
+            "seed_offset": self.seed_offset,
+        }
+
+    def run(self, ctx: RunContext) -> RunContext:
+        config = ctx.config
+        model = ctx.model
+        rng = spawn_rng(config.seed + self.seed_offset)
+        with precision_scope("double"):
+            continuous = accuracy(model, ctx.test)
+
+        level_values = np.linspace(0.0, TWO_PI, self.levels,
+                                   endpoint=False)
+        level_tensor = Tensor(level_values)
+        logit_params: List[Parameter] = []
+        for layer in model.layers:
+            phase = layer.phase_array(wrapped=True)
+            # Angular distance from each pixel's trained phase to every
+            # level (shortest way around the circle), sharpened into
+            # logits: the soft sample starts near the continuous model
+            # instead of a uniform mixture.
+            delta = np.angle(
+                np.exp(1j * (phase[..., None] - level_values[None, None, :]))
+            )
+            logits = Parameter(-self.init_sharpness * np.abs(delta))
+            logit_params.append(logits)
+            # The sampled phase is already a physical angle; bypass the
+            # sigmoid map for the rest of this model's life.
+            layer.parametrization = "direct"
+
+        optimizer = Adam(logit_params, lr=self.lr)
+        trainer = Trainer(model, optimizer, regularizers=ctx.regularizers,
+                          precision=config.precision)
+        steps = max(self.epochs - 1, 1)
+        decay = (self.tau_end / self.tau_start) ** (1.0 / steps)
+        final_loss = float("nan")
+        tau = self.tau_start
+        for epoch in range(self.epochs):
+            tau = self.tau_start * decay ** epoch
+            for images, labels in ctx.loader:
+                optimizer.zero_grad()
+                for layer, logits in zip(model.layers, logit_params):
+                    sample = gumbel_softmax(logits, tau=tau, hard=True,
+                                            rng=rng)
+                    layer.phase = ops.sum(sample * level_tensor, axis=-1)
+                total, _, _ = trainer.loss(images, labels)
+                total.backward()
+                optimizer.step()
+                final_loss = total.item()
+                if not math.isfinite(final_loss):
+                    raise TrainingDiverged(
+                        f"discrete codesign diverged: loss={final_loss!r} "
+                        f"(levels={self.levels}, tau={tau:.3f})"
+                    )
+
+        # Freeze the argmax level into every layer: exactly what a
+        # fabricated K-level mask holds, and what save/serve round-trips.
+        for layer, logits in zip(model.layers, logit_params):
+            quantized = level_values[np.argmax(logits.data, axis=-1)]
+            mask = layer.sparsity_mask
+            if mask is not None:
+                quantized = quantized * mask
+            layer.phase = Parameter(quantized)
+
+        system = dataclasses.replace(model.config, parametrization="direct")
+        model.config = system
+        ctx.config = config.with_overrides(system=system)
+
+        with precision_scope("double"):
+            quantized_acc = accuracy(model, ctx.test)
+        ctx.add_metrics(
+            levels=self.levels,
+            epochs=self.epochs,
+            tau_final=tau,
+            continuous_accuracy=continuous,
+            quantized_accuracy=quantized_acc,
+            quantization_gap=continuous - quantized_acc,
+            final_loss=final_loss,
+        )
+        ctx.accuracy = quantized_acc
+        return ctx

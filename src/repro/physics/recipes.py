@@ -1,0 +1,69 @@
+"""Registered physics-robustness scenario recipes.
+
+Each scenario is a plain stage list registered under a stable name —
+exactly the third-party extension path :mod:`repro.pipeline.registry`
+documents, exercised with zero pipeline-core edits.  All four end with
+:class:`~repro.physics.deployment.DeployGapStage`, so every scenario run
+directory reports ``deployed_accuracy`` alongside the trained number.
+
+Registration happens at import time (``repro.pipeline`` imports this
+package) so ``repro run <scenario>``, sweep worker processes and
+``repro serve`` all resolve the names like built-ins.
+"""
+
+from __future__ import annotations
+
+from ..pipeline.registry import register_recipe
+from ..pipeline.stages import ScoreStage, TrainStage, TwoPiStage
+from .coherence import CoherenceScoreStage
+from .deployment import DeployGapStage
+from .differential import DifferentialDetectorStage
+from .quantize import QuantizeStage
+
+__all__ = ["SCENARIO_RECIPES", "register_scenarios"]
+
+#: The physics-robustness scenario names this package registers.
+SCENARIO_RECIPES = (
+    "differential",
+    "partial_coherence",
+    "quantized",
+    "deploy_gap",
+)
+
+
+def register_scenarios() -> None:
+    """(Re-)register the four physics scenarios.
+
+    Idempotent (``overwrite=True``): safe under repeated imports and
+    after a test called ``unregister_recipe``.  None are paper rows —
+    they extend the paper's tables rather than reproduce them.
+    """
+    register_recipe(
+        "differential",
+        [DifferentialDetectorStage(), TrainStage(), ScoreStage(),
+         TwoPiStage(), DeployGapStage()],
+        label="Differential detection",
+        overwrite=True,
+    )
+    register_recipe(
+        "partial_coherence",
+        [TrainStage(), ScoreStage(), CoherenceScoreStage(), TwoPiStage(),
+         DeployGapStage()],
+        label="Partial coherence",
+        overwrite=True,
+    )
+    register_recipe(
+        "quantized",
+        [TrainStage(), QuantizeStage(), ScoreStage(), DeployGapStage()],
+        label="Discrete codesign",
+        overwrite=True,
+    )
+    register_recipe(
+        "deploy_gap",
+        [TrainStage(), ScoreStage(), TwoPiStage(), DeployGapStage()],
+        label="Deployment gap",
+        overwrite=True,
+    )
+
+
+register_scenarios()

@@ -86,7 +86,14 @@ from .stages import (
     TrainStage,
     TwoPiStage,
 )
-from .tables import format_comparison, format_table
+from .tables import format_comparison, format_scenarios, format_table
+
+# Registers the physics-robustness scenario recipes (differential,
+# partial_coherence, quantized, deploy_gap) as a side effect, so sweep
+# worker processes that import repro.pipeline resolve them by name like
+# the built-ins.  Imported last: repro.physics composes the stage and
+# registry submodules above.
+from .. import physics as _physics  # noqa: E402,F401
 
 __all__ = [
     "ExperimentConfig",
@@ -103,6 +110,7 @@ __all__ = [
     "run_sweep",
     "format_table",
     "format_comparison",
+    "format_scenarios",
     "compare_twopi_solvers",
     "init_ablation",
     "neighborhood_ablation",

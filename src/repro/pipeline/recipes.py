@@ -65,6 +65,12 @@ class RecipeResult:
     #: Per-stage provenance: name, wall time and reported metrics, in
     #: execution order.
     stages: List[StageRecord] = field(default_factory=list)
+    #: The config the run *ended* with.  Stages may rewrite
+    #: ``ctx.config`` (e.g. the differential-head and quantization
+    #: scenarios change the system's detector mode / parametrization);
+    #: persisting this — not the caller's original — keeps ``run.json``
+    #: consistent with the saved model artifact.
+    config: Optional[ExperimentConfig] = None
 
     @property
     def label(self) -> str:
@@ -191,4 +197,5 @@ def _result_from_context(ctx: RunContext,
         twopi_solutions=ctx.twopi_solutions,
         wall_time=wall_time,
         stages=ctx.stage_records,
+        config=ctx.config,
     )

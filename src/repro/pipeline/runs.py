@@ -108,6 +108,12 @@ def save_run(
     target is then accepted as long as it holds no ``run.json`` yet —
     a manifest still means "complete, never overwrite".
     """
+    if result.config is not None:
+        # Stages may rewrite the run's config (detector mode,
+        # parametrization); the manifest must match the model artifact,
+        # not the caller's pre-run config.  Identical for recipes whose
+        # stages leave the config alone.
+        config = result.config
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
     run_dir = (root / name) if name else _run_dir_name(result, config, root)

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Sequence
 
 from .runner import TableResult
 
-__all__ = ["format_table", "format_comparison"]
+__all__ = ["format_table", "format_comparison", "format_scenarios"]
 
 _TABLE_NUMBER = {"MNIST": "II", "FMNIST": "III", "KMNIST": "IV",
                  "EMNIST": "V"}
@@ -62,5 +63,72 @@ def format_comparison(table: TableResult) -> str:
         lines.append(
             f"headline: Ours-C post-2pi roughness is {reduction * 100:.1f}% "
             f"below the baseline's pre-2pi roughness"
+        )
+    return "\n".join(lines)
+
+
+def _scenario_notes(metrics) -> str:
+    """One-line extras per run: which physics the scenario exercised."""
+    notes = []
+    head = metrics.get("differential_head")
+    if head:
+        notes.append(f"differential head ({head.get('detector_regions')} "
+                     f"regions)")
+    coherence = metrics.get("coherence_score")
+    if coherence:
+        penalty = coherence.get("coherence_penalty")
+        modes = coherence.get("coherence_modes")
+        if penalty is not None:
+            notes.append(f"coherence penalty {penalty * 100:.2f}% "
+                         f"(M={modes})")
+    quantize = metrics.get("quantize")
+    if quantize:
+        gap = quantize.get("quantization_gap")
+        if gap is not None:
+            notes.append(f"{quantize.get('levels')} levels "
+                         f"(quant gap {gap * 100:.2f}%)")
+    return ", ".join(notes)
+
+
+def format_scenarios(runs: Sequence) -> str:
+    """Render the physics-scenario columns for stored runs.
+
+    Accepts anything with ``stage_metrics()`` (``RunResult`` /
+    ``RecipeResult``).  Only runs whose stages reported a
+    ``deployed_accuracy`` (i.e. physics-scenario runs) appear; returns
+    ``""`` when there are none, so legacy reports print byte-identically.
+    """
+    rows = []
+    for run in runs:
+        metrics = run.stage_metrics()
+        deploy = metrics.get("deploy_gap")
+        if not deploy or deploy.get("deployed_accuracy") is None:
+            continue
+        name = getattr(run, "path", None)
+        name = run.recipe if name is None else Path(name).name
+        rows.append((
+            name,
+            run.recipe,
+            deploy.get("trained_accuracy"),
+            deploy.get("deployed_accuracy"),
+            deploy.get("deployment_gap"),
+            _scenario_notes(metrics),
+        ))
+    if not rows:
+        return ""
+
+    def _pct(value) -> str:
+        return "-" if value is None else f"{value * 100:.2f}"
+
+    width = max(3, *(len(row[0]) for row in rows))
+    lines = [
+        "Physics scenarios (trained vs deployed accuracy)",
+        f"{'Run':<{width}} {'Recipe':<18} {'acc%':>7} {'deploy%':>8} "
+        f"{'gap%':>6}  notes",
+    ]
+    for name, recipe, trained, deployed, gap, notes in rows:
+        lines.append(
+            f"{name:<{width}} {recipe:<18} {_pct(trained):>7} "
+            f"{_pct(deployed):>8} {_pct(gap):>6}  {notes}".rstrip()
         )
     return "\n".join(lines)

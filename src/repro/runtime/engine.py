@@ -65,6 +65,15 @@ class InferenceEngine:
     buffers:
         Optional shared :class:`ScratchBuffers` pool (so many short-lived
         engines over one model reuse the same scratch memory).
+    source_modes:
+        Optional ``(modes, n, n)`` complex screens modeling a *partially
+        spatially coherent* source by mode decomposition (Filipovich et
+        al. 2023): the input field is propagated once per screen and the
+        mutually incoherent modes add in *intensity* (averaged over
+        modes).  ``None`` (default) is the fully coherent forward; a
+        single uniform screen reproduces it exactly (test-enforced).
+        Screens come from
+        :meth:`repro.physics.CoherenceSpec.screens`.
     """
 
     def __init__(
@@ -75,6 +84,7 @@ class InferenceEngine:
         max_batch: int = 64,
         workers: Optional[int] = None,
         buffers: Optional[ScratchBuffers] = None,
+        source_modes: Optional[np.ndarray] = None,
     ) -> None:
         if precision not in PRECISIONS:
             raise ValueError(
@@ -133,7 +143,30 @@ class InferenceEngine:
         self._readout = np.ascontiguousarray(
             detector._readout_matrix.data, dtype=self._rdtype
         )
+        # Differential heads carry an explicit total-capture vector
+        # (signed logits do not sum to the captured intensity); the
+        # standard head leaves it None and keeps the logit-sum path.
+        total = getattr(detector, "_total_vector", None)
+        self._total = (None if total is None else
+                       np.ascontiguousarray(total.data, dtype=self._rdtype))
         self.num_classes = detector.num_classes
+
+        if source_modes is None:
+            self._source_modes: Optional[np.ndarray] = None
+        else:
+            modes = np.asarray(source_modes)
+            if modes.ndim == 2:
+                modes = modes[None]
+            if modes.ndim != 3 or modes.shape[-2:] != (self.n, self.n):
+                raise ValueError(
+                    f"source_modes shape {np.shape(source_modes)} does "
+                    f"not match (modes, {self.n}, {self.n})"
+                )
+            if modes.shape[0] < 1:
+                raise ValueError("source_modes needs at least one mode")
+            self._source_modes = np.ascontiguousarray(
+                modes, dtype=self._cdtype
+            )
 
         self._modulation_rows: List[np.ndarray] = []
         self.refresh(modulations)
@@ -282,10 +315,25 @@ class InferenceEngine:
         return inner[:, :, pad:pad + n]
 
     def _intensity_chunk(self, fields: np.ndarray) -> np.ndarray:
-        """Detector-plane intensity ``(batch, n, n)`` for one chunk."""
-        crop = self._propagate_chunk(fields)
-        intensity = np.square(crop.real)
-        intensity += np.square(crop.imag)
+        """Detector-plane intensity ``(batch, n, n)`` for one chunk.
+
+        With ``source_modes`` set, each mutually incoherent screen is
+        propagated separately and the intensities average (the mode
+        decomposition of a partially coherent source); the accumulation
+        lives outside the propagation scratch, so the per-mode reuse of
+        ``_propagate_chunk``'s buffers is safe.
+        """
+        if self._source_modes is None:
+            crop = self._propagate_chunk(fields)
+            intensity = np.square(crop.real)
+            intensity += np.square(crop.imag)
+            return intensity
+        intensity = np.zeros(fields.shape, dtype=self._rdtype)
+        for screen in self._source_modes:
+            crop = self._propagate_chunk(fields * screen)
+            intensity += np.square(crop.real)
+            intensity += np.square(crop.imag)
+        intensity /= len(self._source_modes)
         return intensity
 
     def _logits_chunk(self, fields: np.ndarray) -> np.ndarray:
@@ -294,7 +342,10 @@ class InferenceEngine:
         flat = intensity.reshape(batch, self.n * self.n)
         logits = flat @ self._readout
         if self._normalize:
-            total = logits.sum(axis=-1, keepdims=True)
+            if self._total is None:
+                total = logits.sum(axis=-1, keepdims=True)
+            else:
+                total = flat @ self._total
             logits = logits / (total + 1e-20) * self._gain
         return logits
 

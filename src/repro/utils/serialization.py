@@ -191,6 +191,13 @@ def save_model(
         "config": config,
         "num_layers": len(model.layers),
         "resolved_distance": model.config.resolved_distance(),
+        # The full head recipe (mode/classes/region size), not just the
+        # derived regions: serving reloads differential-detection runs
+        # from the spec instead of re-deriving geometry, and load_model
+        # rejects an artifact whose stored spec disagrees with its
+        # config.  Absent in pre-spec artifacts (same format version —
+        # the addition is backward/forward compatible).
+        "detector_spec": model.config.detector_spec().to_dict(),
         "detector_regions": [
             list(region) for region in model.detector.layout.regions
         ],
@@ -268,6 +275,28 @@ def load_model(path: Union[str, Path]):
             f"{path}: header says {num_layers} layers but config builds "
             f"{config.num_layers}"
         )
+    stored_spec = header.get("detector_spec")
+    if stored_spec is not None:
+        expected_spec = config.detector_spec().to_dict()
+        if dict(stored_spec) != expected_spec:
+            raise ValueError(
+                f"{path}: artifact detector spec {stored_spec} does not "
+                f"match the config-derived spec {expected_spec}; the "
+                "header was edited or written by an incompatible build "
+                "— refusing to serve a mismatched readout head"
+            )
+    stored_regions = header.get("detector_regions")
+    if stored_regions is not None:
+        expected_regions = [list(region)
+                            for region in config.detector_layout().regions]
+        if [list(region) for region in stored_regions] != expected_regions:
+            raise ValueError(
+                f"{path}: artifact detector regions do not match the "
+                f"geometry its config derives (stored "
+                f"{len(stored_regions)} regions, derived "
+                f"{len(expected_regions)}); refusing to load a model "
+                "whose readout geometry is ambiguous"
+            )
     n = config.n
     weights: List[np.ndarray] = []
     masks: List[Optional[np.ndarray]] = []

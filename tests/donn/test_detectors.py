@@ -118,3 +118,147 @@ class TestDetectorPlane:
         expected = 10 * 4 / 400
         assert plane.captured_fraction(uniform) == pytest.approx(expected)
         assert plane.captured_fraction(np.zeros((20, 20))) == 0.0
+
+
+class TestDifferentialPairs:
+    """Geometry validation for the paired [pos, neg] detector layout."""
+
+    def test_pairs_interleave_pos_neg(self):
+        layout = DetectorLayout.differential_pairs(20, 10)
+        # The layout holds one region per lobe; the differential plane
+        # halves that back into classes.
+        assert len(layout.regions) == 20
+        plane = DetectorPlane(layout, mode="differential")
+        assert plane.num_classes == 10
+        for k in range(10):
+            pos = layout.regions[2 * k]
+            neg = layout.regions[2 * k + 1]
+            # Same column, negative lobe strictly below the positive one.
+            assert pos[1] == neg[1]
+            assert neg[0] > pos[0]
+
+    def test_overlapping_pairs_rejected(self):
+        with pytest.raises(ValueError, match="detector regions overlap"):
+            DetectorLayout.differential_pairs(20, 10, region_size=3, gap=0)
+
+    def test_vertical_out_of_grid_names_both_knobs(self):
+        # The message must be actionable: which knob to shrink, and the
+        # values it saw.
+        with pytest.raises(
+            ValueError,
+            match=r"does not fit on an 10 x 10 plane; shrink "
+                  r"region_size \(got 4\) or the pair gap \(got 1\)",
+        ):
+            DetectorLayout.differential_pairs(10, 10, region_size=4)
+
+    def test_horizontal_out_of_grid_names_region_size(self):
+        with pytest.raises(ValueError,
+                           match=r"falls off the 10 x 10 plane; "
+                                 r"shrink region_size"):
+            DetectorLayout.differential_pairs(10, 4, region_size=5, gap=0,
+                                              row_pattern=(4,))
+
+    def test_fewer_than_two_classes_rejected(self):
+        with pytest.raises(ValueError, match=">= 2 classes"):
+            DetectorLayout.differential_pairs(20, 1)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError, match="pair gap must be >= 0"):
+            DetectorLayout.differential_pairs(20, 10, gap=-1)
+
+    def test_row_pattern_must_place_all_classes(self):
+        with pytest.raises(ValueError,
+                           match=r"row pattern \(3, 3\) does not place "
+                                 r"10 classes"):
+            DetectorLayout.differential_pairs(20, 10, row_pattern=(3, 3))
+
+
+class TestDifferentialPlane:
+    def test_odd_region_count_rejected_with_remedy(self):
+        paired = DetectorLayout.differential_pairs(20, 10)
+        odd = DetectorLayout(n=20, regions=paired.regions[:5])
+        with pytest.raises(ValueError,
+                           match=r"cannot be split into pairs.*"
+                                 r"mode='standard'"):
+            DetectorPlane(odd, mode="differential")
+
+    def test_unknown_mode_rejected(self):
+        layout = DetectorLayout.evenly_spaced(n=20)
+        with pytest.raises(ValueError, match="unknown detector mode"):
+            DetectorPlane(layout, mode="donut")
+
+    def test_signed_readout_is_pos_minus_neg(self):
+        layout = DetectorLayout.differential_pairs(20, 10)
+        plane = DetectorPlane(layout, normalize=False, gain=1.0,
+                              mode="differential")
+        intensity = np.zeros((20, 20))
+        pos_t, pos_l, size = layout.regions[2 * 3]
+        neg_t, neg_l, _ = layout.regions[2 * 3 + 1]
+        intensity[pos_t:pos_t + size, pos_l:pos_l + size] = 2.0
+        intensity[neg_t:neg_t + size, neg_l:neg_l + size] = 0.5
+        logits = plane.readout(Tensor(intensity)).data
+        assert logits.shape == (10,)
+        assert logits[3] == pytest.approx(1.5 * size * size)
+        others = np.delete(logits, 3)
+        np.testing.assert_allclose(others, 0.0)
+
+    def test_normalization_divides_by_total_capture(self):
+        layout = DetectorLayout.differential_pairs(20, 10)
+        signed = DetectorPlane(layout, normalize=False, gain=1.0,
+                               mode="differential")
+        normed = DetectorPlane(layout, normalize=True, gain=1.0,
+                               mode="differential")
+        rng = np.random.default_rng(3)
+        intensity = rng.random((4, 20, 20))
+        raw = signed.readout(Tensor(intensity)).data
+        # Total capture is the *unsigned* light over every region, so
+        # the normalizer stays positive even when logits go negative.
+        total = np.zeros(4)
+        for top, left, size in layout.regions:
+            total += intensity[:, top:top + size,
+                               left:left + size].sum(axis=(1, 2))
+        expected = raw / (total[:, None] + 1e-20)
+        np.testing.assert_allclose(
+            normed.readout(Tensor(intensity)).data, expected, rtol=1e-12)
+
+    def test_gradcheck_through_differential_readout(self):
+        layout = DetectorLayout.differential_pairs(14, 4, region_size=1)
+        plane = DetectorPlane(layout, normalize=True, gain=5.0,
+                              mode="differential")
+        rng = np.random.default_rng(4)
+        intensity = Tensor(rng.random((2, 14, 14)) + 0.1,
+                           requires_grad=True)
+        gradcheck(lambda: ops.sum(plane.readout(intensity) ** 2),
+                  [intensity], rtol=1e-3)
+
+
+class TestDetectorSpec:
+    def test_round_trip(self):
+        from repro.donn import DetectorSpec
+
+        spec = DetectorSpec(mode="differential", num_classes=10,
+                            region_size=2)
+        assert DetectorSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_key_rejected(self):
+        from repro.donn import DetectorSpec
+
+        with pytest.raises(ValueError,
+                           match="unknown detector-spec key"):
+            DetectorSpec.from_dict(
+                {"mode": "standard", "num_classes": 10, "bogus": 1})
+
+    def test_unknown_mode_rejected(self):
+        from repro.donn import DetectorSpec
+
+        with pytest.raises(ValueError, match="unknown detector mode"):
+            DetectorSpec(mode="donut", num_classes=10)
+
+    def test_layout_dispatches_on_mode(self):
+        from repro.donn import DetectorSpec
+
+        std = DetectorSpec(mode="standard", num_classes=10)
+        diff = DetectorSpec(mode="differential", num_classes=10)
+        assert std.layout(20).num_classes == 10
+        assert len(std.layout(20).regions) == 10
+        assert len(diff.layout(20).regions) == 20

@@ -287,3 +287,59 @@ class TestTrainerReusesLogits:
             del model.predict
         assert calls["predict"] == 0
         assert 0.0 <= metrics["train_accuracy"] <= 1.0
+
+
+class TestSourceModes:
+    """Partial-coherence propagation and its coherent limit."""
+
+    def test_single_uniform_mode_is_the_coherent_engine(self, model,
+                                                        images):
+        from repro.physics import CoherenceSpec
+
+        n = model.config.n
+        screens = CoherenceSpec(modes=1).screens(n)
+        coherent = model.inference_engine().logits(images)
+        partial = model.inference_engine(
+            source_modes=screens).logits(images)
+        # Mode 0 is the unperturbed field, so M=1 must collapse to the
+        # coherent path: the acceptance bound is 1e-10, the observed
+        # delta is exactly zero.
+        assert np.abs(partial - coherent).max() <= 1e-10
+
+    def test_multimode_intensity_is_incoherent_mode_average(self, model,
+                                                            images):
+        from repro.autodiff import Tensor, no_grad
+        from repro.physics import CoherenceSpec
+
+        n = model.config.n
+        screens = CoherenceSpec(modes=4, seed=11).screens(n)
+        with no_grad():
+            field = model._as_field(images).data
+            total = np.zeros((images.shape[0], n, n))
+            for screen in screens:
+                total += model.intensity_map(field * screen)
+            reference = model.detector.readout(
+                Tensor(total / len(screens))).data
+        engine = model.inference_engine(source_modes=screens)
+        assert np.abs(engine.logits(images) - reference).max() < 1e-10
+
+    def test_bad_mode_shapes_rejected(self, model):
+        n = model.config.n
+        with pytest.raises(ValueError, match="source_modes"):
+            model.inference_engine(source_modes=np.ones((3, n - 1, n)))
+        with pytest.raises(ValueError, match="at least one mode"):
+            model.inference_engine(
+                source_modes=np.ones((0, n, n), dtype=complex))
+
+
+class TestDifferentialEngine:
+    def test_differential_engine_matches_forward(self, images):
+        model = DONN(
+            DONNConfig.laptop(n=20, detector_mode="differential"),
+            rng=spawn_rng(9),
+        )
+        reference = model.forward(images).data
+        engine = model.inference_engine()
+        assert np.abs(engine.logits(images) - reference).max() < 1e-10
+        np.testing.assert_array_equal(engine.predict(images),
+                                      model.predict(images))

@@ -184,3 +184,83 @@ class TestModelStore:
         assert resolve_artifact(path) == path
         with pytest.raises(FileNotFoundError):
             resolve_artifact(tmp_path / "nope")
+
+
+class TestDetectorSpecHeader:
+    """The artifact header pins the readout head (mode + geometry)."""
+
+    @staticmethod
+    def _tamper(path, mutate):
+        import json
+
+        with np.load(path) as data:
+            payload = {key: data[key] for key in data.files}
+        header = json.loads(bytes(payload["header"].tobytes()).decode())
+        mutate(header)
+        payload["header"] = np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8)
+        np.savez(path, **payload)
+
+    @pytest.fixture()
+    def differential(self, tmp_path):
+        model = DONN(
+            DONNConfig.laptop(n=20, detector_mode="differential"),
+            rng=spawn_rng(3),
+        )
+        return model, save_model(tmp_path / "diff.npz", model)
+
+    def test_header_carries_spec(self, tmp_path, model, differential):
+        plain = save_model(tmp_path / "plain.npz", model)
+        assert read_model_header(plain)["detector_spec"]["mode"] == \
+            "standard"
+        _, path = differential
+        spec = read_model_header(path)["detector_spec"]
+        assert spec["mode"] == "differential"
+        assert len(read_model_header(path)["detector_regions"]) == 20
+
+    def test_differential_round_trip_bit_identical(self, differential,
+                                                   images):
+        model, path = differential
+        clone = load_model(path)
+        assert clone.config.detector_mode == "differential"
+        assert np.array_equal(
+            clone.inference_engine().logits(images),
+            model.inference_engine().logits(images))
+
+    def test_tampered_spec_rejected(self, differential):
+        _, path = differential
+
+        def mutate(header):
+            header["detector_spec"]["region_size"] = 7
+
+        self._tamper(path, mutate)
+        with pytest.raises(ValueError,
+                           match="refusing to serve a mismatched "
+                                 "readout head"):
+            load_model(path)
+
+    def test_tampered_regions_rejected(self, differential):
+        _, path = differential
+
+        def mutate(header):
+            # Drop the spec so the independent region check fires.
+            del header["detector_spec"]
+            header["detector_regions"] = header["detector_regions"][:-2]
+
+        self._tamper(path, mutate)
+        with pytest.raises(ValueError, match="readout geometry"):
+            load_model(path)
+
+    def test_pre_spec_artifact_still_loads(self, differential, images):
+        # Older artifacts (same format version) lack the spec fields;
+        # the checks are opt-in on presence, not a version bump.
+        model, path = differential
+
+        def mutate(header):
+            del header["detector_spec"]
+            del header["detector_regions"]
+
+        self._tamper(path, mutate)
+        clone = load_model(path)
+        assert np.array_equal(clone.predict(images),
+                              model.predict(images))

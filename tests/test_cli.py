@@ -316,6 +316,52 @@ class TestSweepCommand:
         assert "bad fault" in capsys.readouterr().err
 
 
+class TestRecipesCommand:
+    def test_lists_registry_with_stage_lists(self, capsys):
+        assert main(["recipes"]) == 0
+        out = capsys.readouterr().out
+        assert "* baseline" in out
+        assert "train -> score -> twopi" in out
+        # The physics scenarios ride along, unmarked (not paper rows).
+        for name in ("differential", "partial_coherence", "quantized",
+                     "deploy_gap"):
+            assert f"  {name}" in out
+        gap_line = next(line for line in out.splitlines()
+                        if line.startswith("  deploy_gap"))
+        assert "train -> score -> twopi -> deploy_gap" in gap_line
+        assert "* = published table row" in out
+
+    def test_paper_only_filters(self, capsys):
+        assert main(["recipes", "--paper-only"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "ours_d" in out
+        assert "differential" not in out
+        assert "5 registered recipe(s)" in out
+
+    def test_report_renders_scenario_table(self, capsys, tmp_path):
+        runs_dir = tmp_path / "runs"
+        assert main(["run", "deploy_gap", *TINY, "--runs-dir",
+                     str(runs_dir), "--name", "gap-smoke",
+                     "--set", "twopi.iterations=10"]) == 0
+        capsys.readouterr()
+        assert main(["report", str(runs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Physics scenarios (trained vs deployed accuracy)" in out
+        assert "gap-smoke" in out
+
+    def test_report_without_scenarios_stays_silent(self, capsys,
+                                                   tmp_path):
+        runs_dir = tmp_path / "runs"
+        assert main(["run", "baseline", *TINY, "--runs-dir",
+                     str(runs_dir),
+                     "--set", "twopi.iterations=10"]) == 0
+        capsys.readouterr()
+        assert main(["report", str(runs_dir)]) == 0
+        # No deploy_gap metrics anywhere -> the block must not appear
+        # (golden legacy output is byte-identical).
+        assert "Physics scenarios" not in capsys.readouterr().out
+
+
 class TestReportCommand:
     def test_report_renders_stored_runs(self, capsys, tmp_path):
         runs_dir = tmp_path / "runs"
